@@ -1,0 +1,247 @@
+// Package avfi is the public API of AVFI, the Autonomous Vehicle Fault
+// Injector — a Go reproduction of "AVFI: Fault Injection for Autonomous
+// Vehicles" (Jha, Banerjee, Cyriac, Kalbarczyk, Iyer; DSN 2018).
+//
+// AVFI assesses the end-to-end resilience of an autonomous-driving stack by
+// injecting faults into its sensor-compute-actuate loop and measuring
+// domain-specific failure metrics. This package bundles:
+//
+//   - a self-contained urban driving simulator (procedural towns, kinematic
+//     vehicle physics, a software-rendered hood camera, NPC traffic and
+//     pedestrians) standing in for the paper's CARLA/Unreal substrate;
+//   - a conditional imitation-learning driving agent (trainable from the
+//     built-in oracle autopilot) standing in for the paper's IL-CNN;
+//   - four classes of fault injectors — data (camera/GPS/speed), hardware
+//     (bit flips, stuck-at), timing (delay/drop/reorder on the control
+//     path) and machine-learning (weight noise and bit flips);
+//   - campaign orchestration with the paper's resilience metrics: Mission
+//     Success Rate, Traffic Violations per KM, Accidents per KM, and Time
+//     to Traffic Violation.
+//
+// # Quick start
+//
+//	spec := avfi.DefaultPretrainSpec()
+//	cfg := avfi.CampaignConfig{
+//		World:       avfi.DefaultWorldConfig(),
+//		Agent:       avfi.AgentSource{Pretrain: &spec},
+//		Injectors:   avfi.InputFaultSuite(),
+//		Missions:    6,
+//		Repetitions: 2,
+//		Seed:        1,
+//	}
+//	runner, err := avfi.NewCampaign(cfg)
+//	// ...
+//	results, err := runner.Run()
+//	avfi.PrintTable(os.Stdout, "input faults", results.Reports)
+//
+// The types below are aliases of the implementation packages, so values
+// returned here interoperate with the whole library surface.
+package avfi
+
+import (
+	"io"
+
+	"github.com/avfi/avfi/internal/agent"
+	"github.com/avfi/avfi/internal/campaign"
+	"github.com/avfi/avfi/internal/fault"
+
+	// Link every built-in fault injector into the registry.
+	_ "github.com/avfi/avfi/internal/fault/hwfault"
+	_ "github.com/avfi/avfi/internal/fault/imagefault"
+	_ "github.com/avfi/avfi/internal/fault/mlfault"
+	_ "github.com/avfi/avfi/internal/fault/sensorfault"
+	_ "github.com/avfi/avfi/internal/fault/timingfault"
+
+	"github.com/avfi/avfi/internal/metrics"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// Campaign configuration and execution.
+type (
+	// CampaignConfig parameterizes a fault-injection campaign.
+	CampaignConfig = campaign.Config
+	// InjectorSource names/constructs one injector column of a campaign.
+	InjectorSource = campaign.InjectorSource
+	// AgentSource supplies the system under test.
+	AgentSource = campaign.AgentSource
+	// Runner executes campaigns.
+	Runner = campaign.Runner
+	// ResultSet is a finished campaign.
+	ResultSet = campaign.ResultSet
+)
+
+// Metrics.
+type (
+	// Report aggregates one injector's resilience metrics (MSR, VPK, APK,
+	// TTV) — one bar of the paper's figures.
+	Report = metrics.Report
+	// EpisodeRecord is one mission's outcome.
+	EpisodeRecord = metrics.EpisodeRecord
+	// Comparison is a bootstrap-backed baseline-vs-treatment contrast.
+	Comparison = metrics.Comparison
+)
+
+// World and agent.
+type (
+	// WorldConfig selects the town and camera.
+	WorldConfig = sim.WorldConfig
+	// World is a generated simulation arena.
+	World = sim.World
+	// EpisodeConfig parameterizes one mission.
+	EpisodeConfig = sim.EpisodeConfig
+	// Agent is the imitation-learning driving agent.
+	Agent = agent.Agent
+	// AgentConfig sizes the agent's networks.
+	AgentConfig = agent.Config
+	// PretrainSpec is a (data, training) recipe for the agent.
+	PretrainSpec = agent.PretrainSpec
+	// TownConfig parameterizes procedural town generation.
+	TownConfig = world.TownConfig
+	// Weather is the episode's ambient condition.
+	Weather = world.Weather
+)
+
+// Fault-injection extension points: implement these to plug custom fault
+// models into a campaign (see examples/customfault).
+type (
+	// InputInjector corrupts sensor data before the agent sees it.
+	InputInjector = fault.InputInjector
+	// OutputInjector corrupts control commands after the agent.
+	OutputInjector = fault.OutputInjector
+	// TimingInjector reshapes the control stream in time.
+	TimingInjector = fault.TimingInjector
+	// ModelInjector corrupts the agent's network parameters.
+	ModelInjector = fault.ModelInjector
+	// Window is a fault activation interval in frames.
+	Window = fault.Window
+	// Image is the camera frame fault models operate on.
+	Image = render.Image
+	// Control is a vehicle actuation command.
+	Control = physics.Control
+	// Rand is the deterministic random stream handed to injectors.
+	Rand = rng.Stream
+	// TopDownConfig parameterizes the spectator (bird's-eye) view.
+	TopDownConfig = render.TopDownConfig
+)
+
+// Weather presets.
+const (
+	WeatherClear = world.WeatherClear
+	WeatherRain  = world.WeatherRain
+	WeatherFog   = world.WeatherFog
+)
+
+// NoInject is the canonical name of the fault-free baseline column.
+const NoInject = fault.NoopName
+
+// FPS is the simulation frame rate (the paper's 15 frames per second).
+const FPS = sim.FPS
+
+// NewCampaign builds a campaign runner: it generates the world, resolves
+// (and if necessary trains) the agent, and samples the missions.
+func NewCampaign(cfg CampaignConfig) (*Runner, error) {
+	return campaign.NewRunner(cfg)
+}
+
+// NewWorld generates a simulation world.
+func NewWorld(cfg WorldConfig) (*World, error) { return sim.NewWorld(cfg) }
+
+// DefaultWorldConfig returns the town/camera used by the paper-figure
+// experiments.
+func DefaultWorldConfig() WorldConfig { return sim.DefaultWorldConfig() }
+
+// DefaultPretrainSpec returns the training recipe behind the experiments'
+// pretrained agent.
+func DefaultPretrainSpec() PretrainSpec { return agent.DefaultPretrainSpec() }
+
+// NewAgent builds an untrained agent (use TrainAgent or Agent.Train to fit
+// it; an untrained agent drives, badly).
+func NewAgent(cfg AgentConfig) (*Agent, error) { return agent.New(cfg) }
+
+// DefaultAgentConfig sizes the agent for the default camera.
+func DefaultAgentConfig() AgentConfig { return agent.DefaultConfig() }
+
+// TrainAgent trains a fresh agent on the world per the spec (no caching).
+func TrainAgent(w *World, spec PretrainSpec) (*Agent, error) {
+	return agent.TrainNew(w, spec)
+}
+
+// PretrainedAgent returns the process-cached trained agent for the spec.
+func PretrainedAgent(w *World, spec PretrainSpec) (*Agent, error) {
+	return agent.Pretrained(w, spec)
+}
+
+// LoadAgent reads an agent saved with Agent.Save.
+func LoadAgent(r io.Reader) (*Agent, error) { return agent.Load(r) }
+
+// Injector resolves a registered injector name into a campaign column.
+// See RegisteredInjectors for the available names.
+func Injector(name string) InjectorSource { return campaign.Registry(name) }
+
+// Instantiate builds one injector instance from a source (for driving
+// episodes outside the campaign runner; the runner instantiates per episode
+// itself).
+func Instantiate(src InjectorSource) (interface{}, error) {
+	return campaign.Instantiate(src)
+}
+
+// NewRand returns a deterministic random stream for hand-rolled episode
+// loops; campaigns derive their own streams from the campaign seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Compare bootstraps the MSR and VPK differences between two injectors'
+// records (95% intervals, deterministic given the stream).
+func Compare(baseline, treatment []EpisodeRecord, iters int, r *Rand) (Comparison, error) {
+	return metrics.Compare(baseline, treatment, iters, r)
+}
+
+// RegisteredInjectors lists every built-in injector name.
+func RegisteredInjectors() []string { return fault.Names() }
+
+// InputFaultSuite returns the paper's Figure 2/3 columns: the baseline plus
+// the five camera faults (gaussian, salt & pepper, solid occlusion,
+// transparent occlusion, water drop).
+func InputFaultSuite() []InjectorSource { return campaign.InputFaultSuite() }
+
+// DelaySweep returns the paper's Figure 4 columns: output delay of k frames
+// between decision and actuation for each k.
+func DelaySweep(frames []int) []InjectorSource { return campaign.DelaySweep(frames) }
+
+// Fig4Frames is the paper's Figure 4 x-axis: {0, 5, 10, 20, 30} frames.
+func Fig4Frames() []int { return append([]int(nil), campaign.Fig4Frames...) }
+
+// Windowed delays an injector's activation to startFrame (frames at FPS),
+// enabling mid-episode injection and meaningful Time-To-Violation
+// measurement.
+func Windowed(src InjectorSource, startFrame int) InjectorSource {
+	return campaign.Windowed(src, startFrame)
+}
+
+// PrintTable renders per-injector reports as an aligned text table.
+func PrintTable(w io.Writer, title string, reports []Report) {
+	campaign.PrintTable(w, title, reports)
+}
+
+// WriteRecordsCSV emits one CSV row per episode.
+func WriteRecordsCSV(w io.Writer, records []EpisodeRecord) error {
+	return campaign.WriteRecordsCSV(w, records)
+}
+
+// WriteReportsCSV emits one CSV row per injector aggregate.
+func WriteReportsCSV(w io.Writer, reports []Report) error {
+	return campaign.WriteReportsCSV(w, reports)
+}
+
+// WriteJSON emits a full result set as JSON.
+func WriteJSON(w io.Writer, rs *ResultSet) error { return campaign.WriteJSON(w, rs) }
+
+// DefaultTopDownConfig views the whole town at 256x256.
+func DefaultTopDownConfig() TopDownConfig { return render.DefaultTopDownConfig() }
+
+// WritePPM writes an image as binary PPM (P6) — works for camera frames and
+// spectator views alike.
+func WritePPM(w io.Writer, im *Image) error { return render.WritePPM(w, im) }

@@ -1,0 +1,252 @@
+package avfi_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/avfi/avfi"
+)
+
+// --- Facade smoke tests (no agent training required) ---
+
+// untrainedTinyAgent builds a fresh agent matching the tiny camera.
+func untrainedTinyAgent(t *testing.T) *avfi.Agent {
+	t.Helper()
+	cfg := avfi.AgentConfig{
+		ImageW: 16, ImageH: 12, Conv1: 4, Conv2: 4,
+		FeatDim: 8, MeasDim: 4, HeadHidden: 8, Seed: 2,
+	}
+	a, err := avfi.NewAgent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func tinyWorldConfig() avfi.WorldConfig {
+	cfg := avfi.DefaultWorldConfig()
+	cfg.Town.GridW, cfg.Town.GridH = 3, 3
+	cfg.Camera.Width, cfg.Camera.Height = 16, 12
+	return cfg
+}
+
+func TestRegisteredInjectorsComplete(t *testing.T) {
+	names := avfi.RegisteredInjectors()
+	want := []string{
+		"noinject",
+		"gaussian", "saltpepper", "solidocc", "transpocc", "waterdrop",
+		"gpsdrift", "speedcorrupt",
+		"ctrlbitflip", "ctrlstuck", "pixelbitflip",
+		"outputdelay", "outputdrop", "outputreorder",
+		"weightnoise", "weightbitflip", "neuronstuck",
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("injector %q not registered", w)
+		}
+	}
+}
+
+func TestSuiteBuilders(t *testing.T) {
+	if len(avfi.InputFaultSuite()) != 6 {
+		t.Error("InputFaultSuite size wrong")
+	}
+	frames := avfi.Fig4Frames()
+	if len(frames) != 5 || frames[4] != 30 {
+		t.Errorf("Fig4Frames = %v", frames)
+	}
+	if len(avfi.DelaySweep(frames)) != 5 {
+		t.Error("DelaySweep size wrong")
+	}
+	// Fig4Frames returns a copy.
+	frames[0] = 999
+	if avfi.Fig4Frames()[0] == 999 {
+		t.Error("Fig4Frames exposes internal slice")
+	}
+}
+
+func TestNewWorldAndCampaignViaFacade(t *testing.T) {
+	w, err := avfi.NewWorld(tinyWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Town().Net.NodeCount() != 9 {
+		t.Errorf("node count = %d", w.Town().Net.NodeCount())
+	}
+
+	// Untrained agent is enough to exercise the facade path.
+	a := untrainedTinyAgent(t)
+	cfg := avfi.CampaignConfig{
+		World:       tinyWorldConfig(),
+		Agent:       avfi.AgentSource{Agent: a},
+		Injectors:   []avfi.InjectorSource{avfi.Injector(avfi.NoInject)},
+		Missions:    1,
+		Repetitions: 1,
+		Seed:        5,
+	}
+	runner, err := avfi.NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 1 || len(rs.Reports) != 1 {
+		t.Fatalf("result shape: %d records, %d reports", len(rs.Records), len(rs.Reports))
+	}
+
+	var buf bytes.Buffer
+	avfi.PrintTable(&buf, "facade", rs.Reports)
+	if !strings.Contains(buf.String(), "noinject") {
+		t.Error("PrintTable output incomplete")
+	}
+	buf.Reset()
+	if err := avfi.WriteRecordsCSV(&buf, rs.Records); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := avfi.WriteReportsCSV(&buf, rs.Reports); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := avfi.WriteJSON(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentSaveLoadViaFacade(t *testing.T) {
+	a := untrainedTinyAgent(t)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := avfi.LoadAgent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ParamCount() != a.ParamCount() {
+		t.Error("loaded agent differs")
+	}
+}
+
+// --- Paper-shape integration tests (expensive: train + campaigns) ---
+
+// shapeCampaigns trains the experiment agent once per process and runs the
+// Figure 2/3 and Figure 4 campaigns at the scale validated in
+// EXPERIMENTS.md. Tests and benchmarks share the cached results.
+func shapeCampaigns(tb testing.TB) (*avfi.ResultSet, *avfi.ResultSet) {
+	tb.Helper()
+	return paperCampaigns(tb)
+}
+
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape campaigns are expensive")
+	}
+	fig23, _ := shapeCampaigns(t)
+
+	baseline, ok := fig23.ReportFor(avfi.NoInject)
+	if !ok {
+		t.Fatal("no baseline report")
+	}
+	// The fault-free agent completes most missions.
+	if baseline.MSR < 70 {
+		t.Errorf("baseline MSR = %.1f, want >= 70", baseline.MSR)
+	}
+	// Every camera fault lowers or equals the baseline MSR; most strictly.
+	strictly := 0
+	for _, rep := range fig23.Reports {
+		if rep.Injector == avfi.NoInject {
+			continue
+		}
+		if rep.MSR > baseline.MSR {
+			t.Errorf("%s MSR %.1f exceeds baseline %.1f", rep.Injector, rep.MSR, baseline.MSR)
+		}
+		if rep.MSR < baseline.MSR {
+			strictly++
+		}
+	}
+	if strictly < 3 {
+		t.Errorf("only %d/5 camera faults strictly reduced MSR", strictly)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape campaigns are expensive")
+	}
+	fig23, _ := shapeCampaigns(t)
+
+	baseline, _ := fig23.ReportFor(avfi.NoInject)
+	// Fault-free driving commits (close to) no violations per km.
+	if baseline.VPK.Median > 0.5 {
+		t.Errorf("baseline VPK median = %.2f, want ~0", baseline.VPK.Median)
+	}
+	elevated := 0
+	for _, rep := range fig23.Reports {
+		if rep.Injector == avfi.NoInject {
+			continue
+		}
+		if rep.MeanVPK < baseline.MeanVPK {
+			t.Errorf("%s mean VPK %.2f below baseline %.2f", rep.Injector, rep.MeanVPK, baseline.MeanVPK)
+		}
+		if rep.VPK.Median > 1 {
+			elevated++
+		}
+	}
+	// The paper's log-scale Figure 3: several faults push VPK well above
+	// the baseline's zero.
+	if elevated < 3 {
+		t.Errorf("only %d/5 camera faults elevated median VPK above 1", elevated)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape campaigns are expensive")
+	}
+	_, fig4 := shapeCampaigns(t)
+
+	if len(fig4.Reports) != 5 {
+		t.Fatalf("fig4 reports = %d", len(fig4.Reports))
+	}
+	vpk := make([]float64, 5)
+	msr := make([]float64, 5)
+	for i, rep := range fig4.Reports {
+		vpk[i] = rep.MeanVPK
+		msr[i] = rep.MSR
+	}
+	// Zero delay behaves like the baseline: near-zero violations.
+	if vpk[0] > 1 {
+		t.Errorf("delay-0 mean VPK = %.2f, want ~0", vpk[0])
+	}
+	// Large delays are catastrophic and the trend grows over the sweep:
+	// the paper's Figure 4 shows a sharp rise toward 30 frames.
+	if !(vpk[4] > vpk[2] && vpk[2] > vpk[0]) {
+		t.Errorf("VPK not increasing across delays: %v", vpk)
+	}
+	if vpk[4] < 10 {
+		t.Errorf("30-frame delay mean VPK = %.2f, want >> baseline", vpk[4])
+	}
+	if msr[4] > msr[0]-30 {
+		t.Errorf("30-frame delay MSR %.1f did not collapse from %.1f", msr[4], msr[0])
+	}
+}
+
+func TestFigure4TTVShrinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape campaigns are expensive")
+	}
+	_, fig4 := shapeCampaigns(t)
+	// With larger delays, violations manifest sooner after injection.
+	first, last := fig4.Reports[1], fig4.Reports[4] // delay-05 vs delay-30
+	if last.TTVEpisodes > 0 && first.TTVEpisodes > 0 && last.MeanTTV > first.MeanTTV {
+		t.Errorf("TTV grew with delay: %.1fs (k=5) -> %.1fs (k=30)", first.MeanTTV, last.MeanTTV)
+	}
+}

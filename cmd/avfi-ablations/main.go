@@ -1,0 +1,220 @@
+// Command avfi-ablations runs the ablation studies documented in
+// EXPERIMENTS.md — parameter sweeps beyond the paper's figures that place
+// its operating points on full degradation curves:
+//
+//	avfi-ablations -sweep gaussian     # MSR/VPK vs camera noise sigma
+//	avfi-ablations -sweep saltpepper   # MSR/VPK vs pixel corruption prob
+//	avfi-ablations -sweep weightnoise  # MSR/VPK vs ML weight noise
+//	avfi-ablations -sweep hardware     # stuck-at vs transient control faults
+//	avfi-ablations -sweep all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/avfi/avfi"
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/fault/hwfault"
+	"github.com/avfi/avfi/internal/fault/imagefault"
+	"github.com/avfi/avfi/internal/fault/mlfault"
+	"github.com/avfi/avfi/internal/fault/sensorfault"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "avfi-ablations: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sweep     = flag.String("sweep", "all", "gaussian|saltpepper|weightnoise|hardware|aeb|all")
+		missions  = flag.Int("missions", 6, "missions per point")
+		reps      = flag.Int("reps", 2, "repetitions per mission")
+		seed      = flag.Uint64("seed", 20180625, "campaign seed")
+		agentPath = flag.String("agent", "", "load a trained agent (default: train in-process)")
+	)
+	flag.Parse()
+
+	agentSrc, err := agentSource(*agentPath)
+	if err != nil {
+		return err
+	}
+	base := avfi.CampaignConfig{
+		World:       avfi.DefaultWorldConfig(),
+		Agent:       agentSrc,
+		Missions:    *missions,
+		Repetitions: *reps,
+		Seed:        *seed,
+	}
+
+	sweeps := map[string][]avfi.InjectorSource{
+		"gaussian":    gaussianSweep(),
+		"saltpepper":  saltPepperSweep(),
+		"weightnoise": weightNoiseSweep(),
+		"hardware":    hardwareComparison(),
+	}
+	order := []string{"gaussian", "saltpepper", "weightnoise", "hardware"}
+
+	for _, name := range order {
+		if *sweep != "all" && *sweep != name {
+			continue
+		}
+		cfg := base
+		cfg.Injectors = sweeps[name]
+		runner, err := avfi.NewCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ablation %s: %d points x %d missions x %d reps\n",
+			name, len(cfg.Injectors), *missions, *reps)
+		rs, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		avfi.PrintTable(os.Stdout, fmt.Sprintf("\nAblation: %s", name), rs.Reports)
+	}
+
+	if *sweep == "all" || *sweep == "aeb" {
+		if err := aebAblation(base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aebAblation contrasts the same fault suite with and without the
+// emergency-braking safety monitor, including the LIDAR faults that attack
+// the monitor itself.
+func aebAblation(base avfi.CampaignConfig) error {
+	injectors := []avfi.InjectorSource{
+		avfi.Injector(avfi.NoInject),
+		avfi.Injector("solidocc"),
+		avfi.Injector("gaussian"),
+		{
+			// Camera occlusion and LIDAR dropout together: the fault pair
+			// that blinds both the agent and its safety monitor.
+			Name: "solidocc+lidardrop",
+			New: func() interface{} {
+				return fault.NewChain("solidocc+lidardrop",
+					imagefault.NewSolidOcclusion(), sensorfault.NewLidarDropout())
+			},
+		},
+		avfi.Injector(sensorfault.LidarGhostName),
+	}
+	for _, enabled := range []bool{false, true} {
+		cfg := base
+		cfg.Injectors = injectors
+		cfg.EnableAEB = enabled
+		cfg.NumNPCs = 4
+		cfg.NumPedestrians = 4
+		runner, err := avfi.NewCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ablation aeb (enabled=%v): %d injectors\n", enabled, len(injectors))
+		rs, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		avfi.PrintTable(os.Stdout, fmt.Sprintf("\nAblation: AEB enabled=%v (4 NPCs, 4 pedestrians)", enabled), rs.Reports)
+	}
+	return nil
+}
+
+// gaussianSweep sweeps the camera noise sigma around the default 0.28.
+func gaussianSweep() []avfi.InjectorSource {
+	out := []avfi.InjectorSource{avfi.Injector(avfi.NoInject)}
+	for _, sigma := range []float64{0.10, 0.20, 0.28, 0.40, 0.50} {
+		sigma := sigma
+		out = append(out, avfi.InjectorSource{
+			Name: fmt.Sprintf("gauss-%.2f", sigma),
+			New: func() interface{} {
+				g := imagefault.NewGaussian()
+				g.Sigma = sigma
+				return g
+			},
+		})
+	}
+	return out
+}
+
+// saltPepperSweep sweeps the pixel corruption probability.
+func saltPepperSweep() []avfi.InjectorSource {
+	out := []avfi.InjectorSource{avfi.Injector(avfi.NoInject)}
+	for _, p := range []float64{0.05, 0.10, 0.20, 0.35, 0.50} {
+		p := p
+		out = append(out, avfi.InjectorSource{
+			Name: fmt.Sprintf("sp-%.2f", p),
+			New: func() interface{} {
+				s := imagefault.NewSaltPepper()
+				s.Prob = p
+				return s
+			},
+		})
+	}
+	return out
+}
+
+// weightNoiseSweep sweeps Gaussian weight noise relative to each tensor's
+// RMS magnitude.
+func weightNoiseSweep() []avfi.InjectorSource {
+	out := []avfi.InjectorSource{avfi.Injector(avfi.NoInject)}
+	for _, sigma := range []float64{0.1, 0.2, 0.5, 1.0, 2.0} {
+		sigma := sigma
+		out = append(out, avfi.InjectorSource{
+			Name: fmt.Sprintf("wnoise-%.1f", sigma),
+			New: func() interface{} {
+				w := mlfault.NewWeightNoise()
+				w.Sigma = sigma
+				return w
+			},
+		})
+	}
+	return out
+}
+
+// hardwareComparison contrasts transient control bit flips against
+// permanent stuck-at steering, plus frame-buffer corruption.
+func hardwareComparison() []avfi.InjectorSource {
+	return []avfi.InjectorSource{
+		avfi.Injector(avfi.NoInject),
+		avfi.Injector(hwfault.ControlBitFlipName),
+		{
+			Name: "ctrlbitflip-3b",
+			New: func() interface{} {
+				c := hwfault.NewControlBitFlip()
+				c.Bits = 3
+				return c
+			},
+		},
+		avfi.Injector(hwfault.ControlStuckName),
+		{
+			Name: "stuck-fulllock",
+			New: func() interface{} {
+				return &hwfault.ControlStuck{Field: hwfault.StuckSteer, Value: 1.0}
+			},
+		},
+		avfi.Injector(hwfault.PixelBitFlipName),
+	}
+}
+
+func agentSource(path string) (avfi.AgentSource, error) {
+	if path == "" {
+		spec := avfi.DefaultPretrainSpec()
+		return avfi.AgentSource{Pretrain: &spec}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return avfi.AgentSource{}, err
+	}
+	defer f.Close()
+	a, err := avfi.LoadAgent(f)
+	if err != nil {
+		return avfi.AgentSource{}, err
+	}
+	return avfi.AgentSource{Agent: a}, nil
+}

@@ -1,0 +1,235 @@
+// Command avfi-experiments regenerates every evaluation figure of the AVFI
+// paper (DSN 2018):
+//
+//	Figure 2 — mission success rate per input fault injector
+//	Figure 3 — traffic violations per km per input fault injector
+//	Figure 4 — violations per km vs output delay (frames at 15 FPS)
+//
+// Usage:
+//
+//	avfi-experiments                   # all figures
+//	avfi-experiments -fig 4 -reps 3    # just Figure 4, more repetitions
+//	avfi-experiments -agent model.avfi # reuse a saved agent
+//
+// Absolute numbers depend on this repository's simulator substrate, not the
+// authors' CARLA testbed; the claims under reproduction are the *shapes*
+// (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/avfi/avfi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "avfi-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate: 2, 3, 4 (0 = all)")
+		ttv       = flag.Bool("ttv", false, "also run the mid-episode TTV experiment (beyond the paper's figures)")
+		missions  = flag.Int("missions", 6, "missions per campaign")
+		reps      = flag.Int("reps", 2, "repetitions per mission and injector")
+		seed      = flag.Uint64("seed", 20180625, "campaign seed")
+		agentPath = flag.String("agent", "", "load a trained agent (default: train in-process)")
+		csvDir    = flag.String("csv-dir", "", "also write per-figure CSVs into this directory")
+	)
+	flag.Parse()
+
+	agentSrc, err := agentSource(*agentPath)
+	if err != nil {
+		return err
+	}
+	base := avfi.CampaignConfig{
+		World:       avfi.DefaultWorldConfig(),
+		Agent:       agentSrc,
+		Missions:    *missions,
+		Repetitions: *reps,
+		Seed:        *seed,
+	}
+
+	if *fig == 0 || *fig == 2 || *fig == 3 {
+		cfg := base
+		cfg.Injectors = avfi.InputFaultSuite()
+		rs, err := runCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		if *fig == 0 || *fig == 2 {
+			printFig2(rs)
+		}
+		if *fig == 0 || *fig == 3 {
+			printFig3(rs)
+		}
+		printComparisons(rs)
+		if err := maybeCSV(*csvDir, "fig2_fig3", rs); err != nil {
+			return err
+		}
+	}
+
+	if *fig == 0 || *fig == 4 {
+		cfg := base
+		cfg.Injectors = avfi.DelaySweep(avfi.Fig4Frames())
+		rs, err := runCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		printFig4(rs)
+		if err := maybeCSV(*csvDir, "fig4", rs); err != nil {
+			return err
+		}
+	}
+
+	if *ttv {
+		// Faults strike mid-episode (frame 150 = 10 s in), so TTV measures
+		// the gap between injection and the first resulting violation.
+		const injectAt = 150
+		cfg := base
+		cfg.Injectors = []avfi.InjectorSource{
+			avfi.Injector(avfi.NoInject),
+			avfi.Windowed(avfi.Injector("gaussian"), injectAt),
+			avfi.Windowed(avfi.Injector("solidocc"), injectAt),
+			avfi.Windowed(avfi.Injector("ctrlstuck"), injectAt),
+			avfi.Windowed(avfi.Injector("outputdelay"), injectAt),
+		}
+		rs, err := runCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		printTTV(rs, injectAt)
+		if err := maybeCSV(*csvDir, "ttv", rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printComparisons prints bootstrap contrasts of every injector against
+// the fault-free baseline.
+func printComparisons(rs *avfi.ResultSet) {
+	groups := map[string][]avfi.EpisodeRecord{}
+	for _, rec := range rs.Records {
+		groups[rec.Injector] = append(groups[rec.Injector], rec)
+	}
+	base, ok := groups[avfi.NoInject]
+	if !ok {
+		return
+	}
+	fmt.Println("\nBaseline contrasts (bootstrap 95% CIs; * = VPK difference significant)")
+	for _, rep := range rs.Reports {
+		if rep.Injector == avfi.NoInject {
+			continue
+		}
+		c, err := avfi.Compare(base, groups[rep.Injector], 2000, avfi.NewRand(1))
+		if err != nil {
+			continue
+		}
+		fmt.Println("  " + c.String())
+	}
+}
+
+// printTTV prints the time-to-violation series for mid-episode injection.
+func printTTV(rs *avfi.ResultSet, injectAt int) {
+	fmt.Printf("\nTTV — time from injection (frame %d = %.1fs) to first violation\n",
+		injectAt, float64(injectAt)/avfi.FPS)
+	fmt.Printf("%-16s %10s %10s %12s\n", "injector", "mean TTV(s)", "median(s)", "episodes w/ viol")
+	for _, r := range rs.Reports {
+		fmt.Printf("%-16s %10.2f %10.2f %8d/%d\n",
+			r.Injector, r.MeanTTV, r.TTV.Median, r.TTVEpisodes, r.Episodes)
+	}
+}
+
+func runCampaign(cfg avfi.CampaignConfig) (*avfi.ResultSet, error) {
+	runner, err := avfi.NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d injectors x %d missions x %d reps\n",
+		len(cfg.Injectors), cfg.Missions, cfg.Repetitions)
+	return runner.Run()
+}
+
+// printFig2 prints the paper's Figure 2 series: success rate per injector.
+func printFig2(rs *avfi.ResultSet) {
+	fmt.Println("\nFigure 2 — Mission success rate (%) per input fault injector")
+	fmt.Printf("%-12s %s\n", "injector", "success_rate_pct")
+	for _, r := range rs.Reports {
+		fmt.Printf("%-12s %.1f\n", r.Injector, r.MSR)
+	}
+}
+
+// printFig3 prints the paper's Figure 3 series: violations/km distribution
+// per injector (five-number summary, as the paper's box plot).
+func printFig3(rs *avfi.ResultSet) {
+	fmt.Println("\nFigure 3 — Total violations / km per input fault injector")
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s\n", "injector", "min", "q1", "median", "q3", "max", "mean")
+	for _, r := range rs.Reports {
+		fmt.Printf("%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.Injector, r.VPK.Min, r.VPK.Q1, r.VPK.Median, r.VPK.Q3, r.VPK.Max, r.MeanVPK)
+	}
+}
+
+// printFig4 prints the paper's Figure 4 series: violations/km vs delay.
+func printFig4(rs *avfi.ResultSet) {
+	fmt.Println("\nFigure 4 — Total violations / km vs injected output delay (frames @ 15 FPS)")
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s\n", "delay", "min", "q1", "median", "q3", "max", "mean")
+	for _, r := range rs.Reports {
+		fmt.Printf("%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.Injector, r.VPK.Min, r.VPK.Q1, r.VPK.Median, r.VPK.Q3, r.VPK.Max, r.MeanVPK)
+	}
+}
+
+func maybeCSV(dir, name string, rs *avfi.ResultSet) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	recPath := fmt.Sprintf("%s/%s_records.csv", dir, name)
+	f, err := os.Create(recPath)
+	if err != nil {
+		return err
+	}
+	if err := avfi.WriteRecordsCSV(f, rs.Records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	repPath := fmt.Sprintf("%s/%s_reports.csv", dir, name)
+	f, err = os.Create(repPath)
+	if err != nil {
+		return err
+	}
+	if err := avfi.WriteReportsCSV(f, rs.Reports); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func agentSource(path string) (avfi.AgentSource, error) {
+	if path == "" {
+		spec := avfi.DefaultPretrainSpec()
+		return avfi.AgentSource{Pretrain: &spec}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return avfi.AgentSource{}, err
+	}
+	defer f.Close()
+	a, err := avfi.LoadAgent(f)
+	if err != nil {
+		return avfi.AgentSource{}, err
+	}
+	return avfi.AgentSource{Agent: a}, nil
+}

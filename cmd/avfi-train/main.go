@@ -1,0 +1,95 @@
+// Command avfi-train trains the imitation-learning driving agent against
+// the oracle autopilot and saves it, so campaigns and experiments can load
+// it instead of retraining.
+//
+// Usage:
+//
+//	avfi-train -out model.avfi
+//	avfi-train -missions 14 -epochs 10 -out model.avfi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/avfi/avfi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "avfi-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("out", "model.avfi", "output model path")
+		missions = flag.Int("missions", 0, "demonstration missions (0 = spec default)")
+		epochs   = flag.Int("epochs", 0, "training epochs (0 = spec default)")
+		seed     = flag.Uint64("seed", 0, "data seed (0 = spec default)")
+		eval     = flag.Int("eval", 6, "missions to evaluate the trained agent on (0 to skip)")
+	)
+	flag.Parse()
+
+	spec := avfi.DefaultPretrainSpec()
+	if *missions > 0 {
+		spec.Missions = *missions
+	}
+	if *epochs > 0 {
+		spec.Train.Epochs = *epochs
+	}
+	if *seed != 0 {
+		spec.DataSeed = *seed
+	}
+
+	world, err := avfi.NewWorld(avfi.DefaultWorldConfig())
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "collecting %d demonstration missions and training (%d epochs)...\n",
+		spec.Missions, spec.Train.Epochs)
+	start := time.Now()
+	agent, err := avfi.TrainAgent(world, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained %d parameters in %v\n", agent.ParamCount(), time.Since(start).Round(time.Second))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := agent.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("saved agent to %s\n", *out)
+
+	if *eval > 0 {
+		cfg := avfi.CampaignConfig{
+			World:       avfi.DefaultWorldConfig(),
+			Agent:       avfi.AgentSource{Agent: agent},
+			Injectors:   []avfi.InjectorSource{avfi.Injector(avfi.NoInject)},
+			Missions:    *eval,
+			Repetitions: 1,
+			Seed:        777,
+		}
+		runner, err := avfi.NewCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		rs, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		avfi.PrintTable(os.Stdout, "fault-free evaluation", rs.Reports)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Command avfi runs AVFI fault-injection campaigns from the command line.
+//
+// Usage:
+//
+//	avfi -injectors noinject,gaussian,outputdelay -missions 6 -reps 2
+//	avfi -injectors all -records-csv records.csv -reports-csv reports.csv
+//	avfi -agent model.avfi -tcp -seed 7
+//
+// Without -agent, the driving agent is trained in-process from the oracle
+// autopilot first (about a minute); save one with avfi-train to skip that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/avfi/avfi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "avfi: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		injectors  = flag.String("injectors", "noinject,gaussian,saltpepper,solidocc,transpocc,waterdrop", "comma-separated injector names, or 'all'")
+		listInj    = flag.Bool("list", false, "list registered injectors and exit")
+		missions   = flag.Int("missions", 6, "number of navigation missions")
+		reps       = flag.Int("reps", 2, "repetitions (seeds) per mission and injector")
+		npcs       = flag.Int("npcs", 0, "NPC vehicles per episode")
+		peds       = flag.Int("peds", 0, "pedestrians per episode")
+		weather    = flag.String("weather", "clear", "weather: clear|rain|fog")
+		useTCP     = flag.Bool("tcp", false, "run episodes over loopback TCP instead of in-process pipes")
+		seed       = flag.Uint64("seed", 1, "campaign seed (results are a pure function of it)")
+		agentPath  = flag.String("agent", "", "load a trained agent from this file (default: train in-process)")
+		recordsCSV = flag.String("records-csv", "", "write per-episode records CSV here")
+		reportsCSV = flag.String("reports-csv", "", "write per-injector reports CSV here")
+		jsonPath   = flag.String("json", "", "write the full result set as JSON here")
+		parallel   = flag.Int("parallel", 0, "concurrent episodes (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	if *listInj {
+		for _, name := range avfi.RegisteredInjectors() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	var sources []avfi.InjectorSource
+	if *injectors == "all" {
+		for _, name := range avfi.RegisteredInjectors() {
+			sources = append(sources, avfi.Injector(name))
+		}
+	} else {
+		for _, name := range strings.Split(*injectors, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" {
+				sources = append(sources, avfi.Injector(name))
+			}
+		}
+	}
+
+	w, err := parseWeather(*weather)
+	if err != nil {
+		return err
+	}
+
+	agentSrc, err := agentSource(*agentPath)
+	if err != nil {
+		return err
+	}
+
+	cfg := avfi.CampaignConfig{
+		World:          avfi.DefaultWorldConfig(),
+		Agent:          agentSrc,
+		Injectors:      sources,
+		Missions:       *missions,
+		Repetitions:    *reps,
+		NumNPCs:        *npcs,
+		NumPedestrians: *peds,
+		Weather:        w,
+		UseTCP:         *useTCP,
+		Parallelism:    *parallel,
+		Seed:           *seed,
+	}
+	runner, err := avfi.NewCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "running %d injectors x %d missions x %d reps...\n",
+		len(sources), *missions, *reps)
+	rs, err := runner.Run()
+	if err != nil {
+		return err
+	}
+
+	avfi.PrintTable(os.Stdout, fmt.Sprintf("AVFI campaign (seed %d)", *seed), rs.Reports)
+
+	if *recordsCSV != "" {
+		if err := writeFile(*recordsCSV, func(f *os.File) error {
+			return avfi.WriteRecordsCSV(f, rs.Records)
+		}); err != nil {
+			return err
+		}
+	}
+	if *reportsCSV != "" {
+		if err := writeFile(*reportsCSV, func(f *os.File) error {
+			return avfi.WriteReportsCSV(f, rs.Reports)
+		}); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(f *os.File) error {
+			return avfi.WriteJSON(f, rs)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseWeather(s string) (avfi.Weather, error) {
+	switch s {
+	case "clear":
+		return avfi.WeatherClear, nil
+	case "rain":
+		return avfi.WeatherRain, nil
+	case "fog":
+		return avfi.WeatherFog, nil
+	default:
+		return avfi.WeatherClear, fmt.Errorf("unknown weather %q", s)
+	}
+}
+
+func agentSource(path string) (avfi.AgentSource, error) {
+	if path == "" {
+		spec := avfi.DefaultPretrainSpec()
+		return avfi.AgentSource{Pretrain: &spec}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return avfi.AgentSource{}, err
+	}
+	defer f.Close()
+	a, err := avfi.LoadAgent(f)
+	if err != nil {
+		return avfi.AgentSource{}, err
+	}
+	return avfi.AgentSource{Agent: a}, nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,61 @@
+package avfi_test
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/avfi/avfi"
+)
+
+// ExampleNewCampaign shows the minimal fault-injection campaign: the
+// fault-free baseline against one camera fault. (Training the agent takes
+// about a minute, so this example is illustrative rather than executed.)
+func ExampleNewCampaign() {
+	spec := avfi.DefaultPretrainSpec()
+	cfg := avfi.CampaignConfig{
+		World:       avfi.DefaultWorldConfig(),
+		Agent:       avfi.AgentSource{Pretrain: &spec},
+		Injectors:   []avfi.InjectorSource{avfi.Injector(avfi.NoInject), avfi.Injector("gaussian")},
+		Missions:    6,
+		Repetitions: 2,
+		Seed:        1,
+	}
+	runner, err := avfi.NewCampaign(cfg)
+	if err != nil {
+		panic(err)
+	}
+	rs, err := runner.Run()
+	if err != nil {
+		panic(err)
+	}
+	avfi.PrintTable(os.Stdout, "campaign", rs.Reports)
+}
+
+// ExampleWindowed shows mid-episode fault activation for time-to-violation
+// studies: the occlusion strikes ten seconds into every mission.
+func ExampleWindowed() {
+	src := avfi.Windowed(avfi.Injector("solidocc"), 10*avfi.FPS)
+	fmt.Println(src.Name, "activates at frame", src.InjectionFrame)
+	// Output: solidocc@150 activates at frame 150
+}
+
+// ExampleInjector_registry lists a few of the built-in fault models.
+func ExampleInjector_registry() {
+	names := avfi.RegisteredInjectors()
+	fmt.Println(len(names) > 15, names[0] != "")
+	// Output: true true
+}
+
+// ExampleDelaySweep builds the paper's Figure 4 campaign columns.
+func ExampleDelaySweep() {
+	sweep := avfi.DelaySweep(avfi.Fig4Frames())
+	for _, src := range sweep {
+		fmt.Println(src.Name)
+	}
+	// Output:
+	// delay-00
+	// delay-05
+	// delay-10
+	// delay-20
+	// delay-30
+}

@@ -1,0 +1,126 @@
+// Customfault shows how to extend AVFI with a user-defined fault model and
+// run it in a campaign next to the built-ins — the extension path a
+// downstream user takes to study a failure mode the library doesn't ship.
+//
+// The example implements two custom injectors:
+//
+//   - RollingShutterTear: an input fault that vertically shifts a band of
+//     the camera image (a damaged imager's rolling-shutter artifact);
+//
+//   - BrakeFade: an output fault that attenuates brake commands over time
+//     (overheating brakes), a classic creeping actuator fault.
+//
+//     go run ./examples/customfault
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/avfi/avfi"
+)
+
+// RollingShutterTear shifts a horizontal band of the image sideways by a
+// few pixels each frame, tearing the geometry the lane detector relies on.
+type RollingShutterTear struct {
+	// BandFrac is the torn fraction of the image height.
+	BandFrac float64
+	// MaxShift is the maximum horizontal tear in pixels.
+	MaxShift int
+}
+
+var _ avfi.InputInjector = (*RollingShutterTear)(nil)
+
+// Name implements avfi.InputInjector.
+func (*RollingShutterTear) Name() string { return "shuttertear" }
+
+// InjectImage implements avfi.InputInjector.
+func (f *RollingShutterTear) InjectImage(img *avfi.Image, frame int, r *avfi.Rand) {
+	bandH := int(float64(img.H) * f.BandFrac)
+	if bandH < 1 {
+		bandH = 1
+	}
+	y0 := r.Intn(img.H - bandH + 1)
+	shift := 1 + r.Intn(f.MaxShift)
+	if r.Bool(0.5) {
+		shift = -shift
+	}
+	for y := y0; y < y0+bandH; y++ {
+		for x := 0; x < img.W; x++ {
+			src := x + shift
+			if src < 0 || src >= img.W {
+				img.SetRGB(y, x, 0, 0, 0)
+				continue
+			}
+			rr, gg, bb := img.RGB(y, src)
+			img.SetRGB(y, x, rr, gg, bb)
+		}
+	}
+}
+
+// InjectMeasurements implements avfi.InputInjector (camera-only fault).
+func (*RollingShutterTear) InjectMeasurements(speed, gpsX, gpsY float64, _ int, _ *avfi.Rand) (float64, float64, float64) {
+	return speed, gpsX, gpsY
+}
+
+// BrakeFade attenuates the brake channel progressively: after FadeFrames
+// frames the brakes deliver only MinEffect of the commanded force.
+type BrakeFade struct {
+	FadeFrames int
+	MinEffect  float64
+}
+
+var _ avfi.OutputInjector = (*BrakeFade)(nil)
+
+// Name implements avfi.OutputInjector.
+func (*BrakeFade) Name() string { return "brakefade" }
+
+// InjectControl implements avfi.OutputInjector.
+func (f *BrakeFade) InjectControl(ctl avfi.Control, frame int, _ *avfi.Rand) avfi.Control {
+	t := float64(frame) / float64(f.FadeFrames)
+	if t > 1 {
+		t = 1
+	}
+	effect := 1 - t*(1-f.MinEffect)
+	ctl.Brake *= effect
+	return ctl
+}
+
+func main() {
+	spec := avfi.DefaultPretrainSpec()
+	cfg := avfi.CampaignConfig{
+		World: avfi.DefaultWorldConfig(),
+		Agent: avfi.AgentSource{Pretrain: &spec},
+		Injectors: []avfi.InjectorSource{
+			avfi.Injector(avfi.NoInject),
+			{
+				Name: "shuttertear",
+				New: func() interface{} {
+					return &RollingShutterTear{BandFrac: 0.3, MaxShift: 6}
+				},
+			},
+			{
+				Name: "brakefade",
+				New: func() interface{} {
+					return &BrakeFade{FadeFrames: 150, MinEffect: 0.15}
+				},
+			},
+		},
+		Missions:    4,
+		Repetitions: 2,
+		Seed:        7,
+	}
+	runner, err := avfi.NewCampaign(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running custom fault models against the baseline...")
+	rs, err := runner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	avfi.PrintTable(os.Stdout, "custom fault campaign", rs.Reports)
+	fmt.Println("\nAny type implementing avfi.InputInjector / OutputInjector /")
+	fmt.Println("TimingInjector / ModelInjector can be swept the same way.")
+}

@@ -1,0 +1,71 @@
+// Sensorsweep reproduces the paper's Figures 2 and 3: the full camera
+// input-fault suite (Gaussian, salt & pepper, solid occlusion, transparent
+// occlusion, water drop) against the fault-free baseline, reporting mission
+// success rate and violations per km for each injector.
+//
+//	go run ./examples/sensorsweep
+//	go run ./examples/sensorsweep -missions 8 -reps 3 -csv results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/avfi/avfi"
+)
+
+func main() {
+	missions := flag.Int("missions", 6, "navigation missions per injector")
+	reps := flag.Int("reps", 2, "repetitions per mission")
+	csvPath := flag.String("csv", "", "write per-episode records CSV here")
+	flag.Parse()
+
+	spec := avfi.DefaultPretrainSpec()
+	cfg := avfi.CampaignConfig{
+		World:       avfi.DefaultWorldConfig(),
+		Agent:       avfi.AgentSource{Pretrain: &spec},
+		Injectors:   avfi.InputFaultSuite(),
+		Missions:    *missions,
+		Repetitions: *reps,
+		Seed:        42,
+	}
+	runner, err := avfi.NewCampaign(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweeping %d input-fault injectors over %d missions x %d reps...\n",
+		len(cfg.Injectors), *missions, *reps)
+	rs, err := runner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Figure 2: mission success rate ==")
+	for _, r := range rs.Reports {
+		bar := ""
+		for i := 0.0; i < r.MSR; i += 5 {
+			bar += "#"
+		}
+		fmt.Printf("%-12s %5.1f%% %s\n", r.Injector, r.MSR, bar)
+	}
+
+	fmt.Println("\n== Figure 3: violations per km (median [q1, q3]) ==")
+	for _, r := range rs.Reports {
+		fmt.Printf("%-12s %6.2f [%5.2f, %5.2f]  (mean %.2f over %.2f km)\n",
+			r.Injector, r.VPK.Median, r.VPK.Q1, r.VPK.Q3, r.MeanVPK, r.TotalKM)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := avfi.WriteRecordsCSV(f, rs.Records); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,242 @@
+// Package actors implements the non-player traffic of the AVFI world
+// simulator: NPC vehicles that drive the road network with lane keeping,
+// junction choices and car following, and pedestrians that roam the
+// sidewalks and occasionally cross the street.
+//
+// These populate the paper's simulated urban environment ("describing
+// behavior of cars and pedestrians moving in that world") and are the
+// collision partners behind the Accidents-Per-KM metric. Behaviour is a
+// pure function of the actor's rng stream, keeping campaigns reproducible.
+package actors
+
+import (
+	"math"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// Vehicle is an NPC car: it follows the right-hand lane of its current
+// edge, picks a random turn at each junction, and yields to obstacles
+// ahead.
+type Vehicle struct {
+	State  physics.VehicleState
+	Params physics.VehicleParams
+
+	town   *world.Town
+	from   world.NodeID
+	to     world.NodeID
+	speed  float64 // cruise target, m/s
+	parked bool
+	r      *rng.Stream
+}
+
+// NewVehicle spawns an NPC on the edge (from, to), at fraction frac along
+// it, cruising at the given speed.
+func NewVehicle(town *world.Town, from, to world.NodeID, frac, cruise float64, r *rng.Stream) *Vehicle {
+	a := town.Net.Node(from).Pos
+	b := town.Net.Node(to).Pos
+	dir := b.Sub(a).Norm()
+	lane := dir.Perp().Scale(-town.Net.LaneWidth / 2)
+	pos := a.Lerp(b, geom.Clamp(frac, 0.05, 0.95)).Add(lane)
+	return &Vehicle{
+		State:  physics.VehicleState{Pose: geom.Pose{Pos: pos, Heading: dir.Angle()}},
+		Params: physics.DefaultVehicleParams(),
+		town:   town,
+		from:   from,
+		to:     to,
+		speed:  cruise,
+		r:      r,
+	}
+}
+
+// NewParked spawns a stationary vehicle at the pose — a parked car. Its
+// Step never moves it.
+func NewParked(town *world.Town, pose geom.Pose) *Vehicle {
+	return &Vehicle{
+		State:  physics.VehicleState{Pose: pose},
+		Params: physics.DefaultVehicleParams(),
+		town:   town,
+		parked: true,
+	}
+}
+
+// OBB returns the vehicle's collision box.
+func (v *Vehicle) OBB() geom.OBB { return physics.VehicleOBB(v.State, v.Params) }
+
+// Edge returns the NPC's current directed edge, for tests.
+func (v *Vehicle) Edge() (from, to world.NodeID) { return v.from, v.to }
+
+// laneTarget returns the point the NPC steers toward: a lookahead down its
+// current lane.
+func (v *Vehicle) laneTarget() geom.Vec {
+	a := v.town.Net.Node(v.from).Pos
+	b := v.town.Net.Node(v.to).Pos
+	seg := geom.Seg(a, b)
+	t, _ := seg.Project(v.State.Pose.Pos)
+	look := geom.Clamp(t+8/math.Max(seg.Len(), 1e-9), 0, 1)
+	dir := seg.Dir()
+	lane := dir.Perp().Scale(-v.town.Net.LaneWidth / 2)
+	return seg.At(look).Add(lane)
+}
+
+// Step advances the NPC by dt. blockers are boxes it must not rear-end
+// (the ego and other NPCs).
+func (v *Vehicle) Step(dt float64, blockers []geom.OBB) {
+	if v.parked {
+		return
+	}
+	// Junction handoff: close to the destination node, pick the next edge.
+	if v.State.Pose.Pos.Dist(v.town.Net.Node(v.to).Pos) < v.town.Net.LaneWidth*1.5 {
+		v.advanceEdge()
+	}
+
+	target := v.laneTarget()
+	local := v.State.Pose.ToLocal(target)
+	// Pure-pursuit-style steer toward the lookahead point.
+	steer := geom.Clamp(math.Atan2(local.Y, math.Max(local.X, 0.5))/v.Params.MaxSteerAngle, -1, 1)
+
+	// Car following: brake if a blocker sits in the corridor ahead.
+	throttle, brake := 0.5, 0.0
+	if v.State.Speed > v.speed {
+		throttle = 0
+	}
+	corridor := geom.NewOBB(v.State.Pose.Advance(v.Params.Length/2+6), 12, v.Params.Width+0.6)
+	for _, b := range blockers {
+		if corridor.Intersects(b) {
+			throttle, brake = 0, 1
+			break
+		}
+	}
+	v.State = physics.StepVehicle(v.State, physics.Control{Steer: steer, Throttle: throttle, Brake: brake}, v.Params, dt)
+}
+
+// advanceEdge picks the NPC's next edge at a junction: a random neighbor,
+// avoiding an immediate U-turn when any alternative exists.
+func (v *Vehicle) advanceEdge() {
+	nbs := v.town.Net.Neighbors(v.to)
+	if len(nbs) == 0 {
+		return
+	}
+	choices := make([]world.NodeID, 0, len(nbs))
+	for _, n := range nbs {
+		if n != v.from {
+			choices = append(choices, n)
+		}
+	}
+	if len(choices) == 0 {
+		choices = nbs // dead end: U-turn allowed
+	}
+	next := choices[v.r.Intn(len(choices))]
+	v.from, v.to = v.to, next
+}
+
+// Pedestrian walks sidewalks and occasionally crosses the street. While
+// crossing it is on the road and can be struck (an Accident in the paper's
+// taxonomy).
+type Pedestrian struct {
+	State physics.PedestrianState
+
+	town     *world.Town
+	from     world.NodeID
+	to       world.NodeID
+	side     float64 // +1 = left sidewalk of from->to, -1 = right
+	crossing bool
+	crossTgt geom.Vec
+	r        *rng.Stream
+}
+
+// CrossingProb is the per-step probability a mid-block pedestrian starts
+// crossing the street.
+const CrossingProb = 0.002
+
+// walkSpeed is a typical pedestrian pace, m/s.
+const walkSpeed = 1.4
+
+// NewPedestrian spawns a walker on the sidewalk of edge (from, to) at
+// fraction frac, on the given side (+1 left, -1 right).
+func NewPedestrian(town *world.Town, from, to world.NodeID, frac, side float64, r *rng.Stream) *Pedestrian {
+	p := &Pedestrian{town: town, from: from, to: to, side: math.Copysign(1, side), r: r}
+	pos := p.sidewalkPoint(geom.Clamp(frac, 0.05, 0.95))
+	p.State = physics.PedestrianState{Pos: pos, Speed: walkSpeed}
+	return p
+}
+
+// sidewalkPoint returns the sidewalk centerline point at fraction t of the
+// current edge.
+func (p *Pedestrian) sidewalkPoint(t float64) geom.Vec {
+	a := p.town.Net.Node(p.from).Pos
+	b := p.town.Net.Node(p.to).Pos
+	seg := geom.Seg(a, b)
+	off := p.town.Net.RoadHalfWidth() + p.town.Net.SidewalkWidth/2
+	return seg.At(t).Add(seg.Dir().Perp().Scale(p.side * off))
+}
+
+// Crossing reports whether the pedestrian is mid-street.
+func (p *Pedestrian) Crossing() bool { return p.crossing }
+
+// OBB returns the pedestrian's collision/render box.
+func (p *Pedestrian) OBB() geom.OBB {
+	return geom.NewOBB(geom.Pose{Pos: p.State.Pos, Heading: p.State.Heading}, 0.5, 0.5)
+}
+
+// Step advances the walker by dt.
+func (p *Pedestrian) Step(dt float64) {
+	if p.crossing {
+		dir := p.crossTgt.Sub(p.State.Pos)
+		if dir.Len() < 0.5 {
+			p.crossing = false
+			p.side = -p.side
+		} else {
+			p.State.Heading = dir.Angle()
+		}
+		p.State = physics.StepPedestrian(p.State, dt)
+		return
+	}
+
+	a := p.town.Net.Node(p.from).Pos
+	b := p.town.Net.Node(p.to).Pos
+	seg := geom.Seg(a, b)
+	t, _ := seg.Project(p.State.Pos)
+
+	// Maybe start crossing mid-block.
+	if t > 0.25 && t < 0.75 && p.r.Bool(CrossingProb) {
+		p.crossing = true
+		off := p.town.Net.RoadHalfWidth() + p.town.Net.SidewalkWidth/2
+		p.crossTgt = seg.At(t).Add(seg.Dir().Perp().Scale(-p.side * off))
+		return
+	}
+
+	// Reached the end of the block: pick a new edge.
+	if t >= 0.95 {
+		p.advanceEdge()
+		a = p.town.Net.Node(p.from).Pos
+		b = p.town.Net.Node(p.to).Pos
+		seg = geom.Seg(a, b)
+		t, _ = seg.Project(p.State.Pos)
+	}
+
+	target := p.sidewalkPoint(geom.Clamp(t+2/math.Max(seg.Len(), 1e-9), 0, 1))
+	p.State.Heading = target.Sub(p.State.Pos).Angle()
+	p.State = physics.StepPedestrian(p.State, dt)
+}
+
+func (p *Pedestrian) advanceEdge() {
+	nbs := p.town.Net.Neighbors(p.to)
+	if len(nbs) == 0 {
+		p.from, p.to = p.to, p.from
+		return
+	}
+	choices := make([]world.NodeID, 0, len(nbs))
+	for _, n := range nbs {
+		if n != p.from {
+			choices = append(choices, n)
+		}
+	}
+	if len(choices) == 0 {
+		choices = nbs
+	}
+	p.from, p.to = p.to, choices[p.r.Intn(len(choices))]
+}

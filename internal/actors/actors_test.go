@@ -1,0 +1,194 @@
+package actors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/world"
+)
+
+const dt = 1.0 / 15
+
+func lineTown(t *testing.T) *world.Town {
+	t.Helper()
+	net := world.NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(300, 0))
+	net.AddEdge(a, b)
+	return &world.Town{Net: net}
+}
+
+func gridTown(t *testing.T) *world.Town {
+	t.Helper()
+	town, err := world.GenerateTown(world.DefaultTownConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return town
+}
+
+func TestNPCVehicleFollowsLane(t *testing.T) {
+	town := lineTown(t)
+	v := NewVehicle(town, 0, 1, 0.2, 8, rng.New(2))
+	for i := 0; i < 15*10; i++ {
+		v.Step(dt, nil)
+	}
+	// Must have advanced along +X and stayed near its lane (y = -1.75).
+	if v.State.Pose.Pos.X < 80 {
+		t.Errorf("NPC barely moved: %v", v.State.Pose.Pos)
+	}
+	if math.Abs(v.State.Pose.Pos.Y+1.75) > 1.0 {
+		t.Errorf("NPC strayed from lane center: %v", v.State.Pose.Pos)
+	}
+	if !town.Net.OnRoad(v.State.Pose.Pos) {
+		t.Error("NPC drove off-road")
+	}
+}
+
+func TestNPCVehicleStaysOnRoadInGridTown(t *testing.T) {
+	town := gridTown(t)
+	v := NewVehicle(town, 0, 1, 0.3, 7, rng.New(3))
+	offRoad := 0
+	for i := 0; i < 15*60; i++ {
+		v.Step(dt, nil)
+		if !town.Net.OnRoad(v.State.Pose.Pos) {
+			offRoad++
+		}
+	}
+	// Junction corner-cutting may briefly leave the pad; sustained
+	// off-road driving is a bug.
+	if frac := float64(offRoad) / (15 * 60); frac > 0.05 {
+		t.Errorf("NPC off-road %.1f%% of the time", frac*100)
+	}
+}
+
+func TestNPCVehicleAdvancesEdges(t *testing.T) {
+	town := gridTown(t)
+	v := NewVehicle(town, 0, 1, 0.8, 8, rng.New(4))
+	f0, t0 := v.Edge()
+	changed := false
+	for i := 0; i < 15*120 && !changed; i++ {
+		v.Step(dt, nil)
+		if f, tt := v.Edge(); f != f0 || tt != t0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("NPC never advanced past its first junction")
+	}
+}
+
+func TestNPCVehicleBrakesForBlocker(t *testing.T) {
+	town := lineTown(t)
+	v := NewVehicle(town, 0, 1, 0.1, 10, rng.New(5))
+	// Get up to speed.
+	for i := 0; i < 15*5; i++ {
+		v.Step(dt, nil)
+	}
+	speedBefore := v.State.Speed
+	if speedBefore < 3 {
+		t.Fatalf("NPC too slow to test braking: %v", speedBefore)
+	}
+	// Park a blocker directly ahead.
+	blocker := geom.NewOBB(geom.Pose{Pos: v.State.Pose.Pos.Add(geom.FromAngle(v.State.Pose.Heading).Scale(8)), Heading: v.State.Pose.Heading}, 4.5, 2)
+	for i := 0; i < 15*2; i++ {
+		v.Step(dt, []geom.OBB{blocker})
+	}
+	if v.State.Speed > speedBefore/2 {
+		t.Errorf("NPC did not brake: %v -> %v", speedBefore, v.State.Speed)
+	}
+}
+
+func TestNPCDeterministic(t *testing.T) {
+	town := gridTown(t)
+	run := func() geom.Vec {
+		v := NewVehicle(town, 0, 1, 0.3, 8, rng.New(9))
+		for i := 0; i < 15*30; i++ {
+			v.Step(dt, nil)
+		}
+		return v.State.Pose.Pos
+	}
+	if run() != run() {
+		t.Error("NPC trajectory not deterministic")
+	}
+}
+
+func TestPedestrianWalksSidewalk(t *testing.T) {
+	town := lineTown(t)
+	p := NewPedestrian(town, 0, 1, 0.2, +1, rng.New(0)) // stream chosen so no crossing occurs quickly is not guaranteed...
+	// Use a stream and short horizon so crossing is unlikely; verify
+	// sidewalk position while not crossing.
+	for i := 0; i < 15*5; i++ {
+		p.Step(dt)
+		if p.Crossing() {
+			return // crossing behaviour tested separately
+		}
+		// Left sidewalk of a +X street is at y ≈ +4.5.
+		if math.Abs(p.State.Pos.Y-4.5) > 1.5 {
+			t.Fatalf("pedestrian off sidewalk: %v", p.State.Pos)
+		}
+	}
+	if p.State.Pos.X < 60+1 {
+		// Started at 0.2*300 = 60 and walks at 1.4 m/s.
+		t.Errorf("pedestrian did not advance: %v", p.State.Pos)
+	}
+}
+
+func TestPedestrianEventuallyCrosses(t *testing.T) {
+	town := lineTown(t)
+	p := NewPedestrian(town, 0, 1, 0.3, +1, rng.New(11))
+	crossed := false
+	for i := 0; i < 15*600 && !crossed; i++ {
+		p.Step(dt)
+		if p.Crossing() {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Error("pedestrian never crossed in 10 simulated minutes")
+	}
+	// Finish the crossing: ends on the other side.
+	for i := 0; i < 15*30 && p.Crossing(); i++ {
+		p.Step(dt)
+	}
+	if p.Crossing() {
+		t.Error("crossing never completed")
+	}
+	if p.State.Pos.Y > 0 {
+		t.Errorf("pedestrian ended on original side: %v", p.State.Pos)
+	}
+}
+
+func TestPedestrianOBBSize(t *testing.T) {
+	town := lineTown(t)
+	p := NewPedestrian(town, 0, 1, 0.5, -1, rng.New(12))
+	box := p.OBB()
+	if box.HalfLen != 0.25 || box.HalfWid != 0.25 {
+		t.Errorf("pedestrian box = %v x %v", box.HalfLen*2, box.HalfWid*2)
+	}
+}
+
+func TestPedestrianDeterministic(t *testing.T) {
+	town := gridTown(t)
+	run := func() geom.Vec {
+		p := NewPedestrian(town, 0, 1, 0.4, +1, rng.New(13))
+		for i := 0; i < 15*60; i++ {
+			p.Step(dt)
+		}
+		return p.State.Pos
+	}
+	if run() != run() {
+		t.Error("pedestrian trajectory not deterministic")
+	}
+}
+
+func TestVehicleOBBMatchesState(t *testing.T) {
+	town := lineTown(t)
+	v := NewVehicle(town, 0, 1, 0.5, 8, rng.New(14))
+	box := v.OBB()
+	if box.Pose.Pos.Dist(v.State.Pose.Pos) > v.Params.Length {
+		t.Error("vehicle OBB far from its state")
+	}
+}

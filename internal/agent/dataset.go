@@ -1,0 +1,178 @@
+package agent
+
+import (
+	"fmt"
+
+	"github.com/avfi/avfi/internal/autopilot"
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/tensor"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// Sample is one imitation-learning training example.
+type Sample struct {
+	// Image is the camera frame as a (3,H,W) tensor.
+	Image *tensor.Tensor
+	// Speed is the measured speed, m/s.
+	Speed float64
+	// Command is the navigation command active at the frame.
+	Command world.TurnKind
+	// Steer is the expert's steering in [-1, 1].
+	Steer float64
+	// TargetSpeed is the expert's speed a short horizon later, m/s — the
+	// speed-branch supervision signal.
+	TargetSpeed float64
+}
+
+// CollectConfig tunes demonstration collection.
+type CollectConfig struct {
+	// PerturbProb is the per-frame probability of starting a steering
+	// perturbation (the recovery-data trick: the expert's corrective label
+	// is recorded while the car is pushed off-center).
+	PerturbProb float64
+	// PerturbFrames is how long each perturbation lasts.
+	PerturbFrames int
+	// PerturbMag is the magnitude of the steering offset.
+	PerturbMag float64
+	// SpeedLookahead is the supervision horizon for TargetSpeed, frames.
+	SpeedLookahead int
+	// KeepEvery subsamples frames (2 keeps every other frame).
+	KeepEvery int
+}
+
+// DefaultCollectConfig returns the collection setup used for the
+// experiments' pretrained agent.
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfig{
+		PerturbProb:    0.05,
+		PerturbFrames:  6,
+		PerturbMag:     0.45,
+		SpeedLookahead: 5,
+		KeepEvery:      2,
+	}
+}
+
+// CollectEpisode drives one episode with the oracle autopilot (plus
+// injected steering perturbations) and returns the recorded demonstrations.
+func CollectEpisode(e *sim.Episode, cfg CollectConfig, r *rng.Stream) ([]Sample, error) {
+	pilot := autopilot.New(e.Route(), e.EgoParams(), autopilot.DefaultConfig())
+	if cfg.KeepEvery <= 0 {
+		cfg.KeepEvery = 1
+	}
+
+	type frameRec struct {
+		img     *tensor.Tensor
+		speed   float64
+		cmd     world.TurnKind
+		steer   float64
+		trueV   float64
+		sampled bool
+	}
+	var recs []frameRec
+
+	perturbLeft := 0
+	perturbOffset := 0.0
+	frame := 0
+	for !e.Done() {
+		obs := e.Observe()
+		ctl := pilot.Control(e.EgoState(), obstacleBoxes(e))
+
+		recs = append(recs, frameRec{
+			img:     obs.Image.ToTensor(),
+			speed:   obs.Speed,
+			cmd:     obs.Command,
+			steer:   ctl.Steer,
+			trueV:   e.EgoState().Speed,
+			sampled: frame%cfg.KeepEvery == 0,
+		})
+
+		// Perturbation state machine: push the wheel off the expert's
+		// command; the recorded label stays the expert's.
+		if perturbLeft > 0 {
+			perturbLeft--
+			ctl.Steer = geom.Clamp(ctl.Steer+perturbOffset, -1, 1)
+		} else if r.Bool(cfg.PerturbProb) {
+			perturbLeft = cfg.PerturbFrames
+			perturbOffset = cfg.PerturbMag
+			if r.Bool(0.5) {
+				perturbOffset = -perturbOffset
+			}
+		}
+		e.Step(ctl)
+		frame++
+		if frame > sim.FPS*600 {
+			return nil, fmt.Errorf("agent: collection episode exceeded 10 simulated minutes")
+		}
+	}
+
+	// Build samples with the future-speed target.
+	look := cfg.SpeedLookahead
+	if look < 0 {
+		look = 0
+	}
+	var out []Sample
+	for i, rec := range recs {
+		if !rec.sampled {
+			continue
+		}
+		tgtIdx := i + look
+		if tgtIdx >= len(recs) {
+			tgtIdx = len(recs) - 1
+		}
+		out = append(out, Sample{
+			Image:       rec.img,
+			Speed:       rec.speed,
+			Command:     rec.cmd,
+			Steer:       rec.steer,
+			TargetSpeed: recs[tgtIdx].trueV,
+		})
+	}
+	return out, nil
+}
+
+// obstacleBoxes lists every dynamic collision box the expert must respect.
+func obstacleBoxes(e *sim.Episode) []geom.OBB {
+	var out []geom.OBB
+	for _, o := range e.RenderObstacles() {
+		out = append(out, o.Box)
+	}
+	return out
+}
+
+// CollectDataset runs several demonstration missions over a world and
+// pools the samples.
+func CollectDataset(w *sim.World, missions int, seed uint64, cfg CollectConfig) ([]Sample, error) {
+	root := rng.New(seed)
+	var all []Sample
+	for m := 0; m < missions; m++ {
+		from, to, err := w.Town().RandomMission(root.Split(fmt.Sprintf("mission-%d", m)), 150)
+		if err != nil {
+			return nil, fmt.Errorf("agent: dataset mission %d: %w", m, err)
+		}
+		e, err := w.NewEpisode(sim.EpisodeConfig{
+			From: from, To: to,
+			Seed: root.Split(fmt.Sprintf("episode-%d", m)).Uint64(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("agent: dataset mission %d: %w", m, err)
+		}
+		samples, err := CollectEpisode(e, cfg, root.Split(fmt.Sprintf("perturb-%d", m)))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, samples...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("agent: dataset empty after %d missions", missions)
+	}
+	return all, nil
+}
+
+// ExpertControl converts an expert physics control plus measured speed into
+// the (steer, targetSpeedNorm) supervision pair — exposed for tests.
+func ExpertControl(ctl physics.Control, futureSpeed float64) (steer, targetNorm float64) {
+	return ctl.Steer, futureSpeed / speedNorm
+}

@@ -1,0 +1,126 @@
+package agent
+
+import (
+	"testing"
+
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/world"
+)
+
+func physicsControl(steer float64) physics.Control {
+	return physics.Control{Steer: steer}
+}
+
+// smallWorld builds a compact world with a small camera so collection tests
+// stay fast.
+func smallWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultWorldConfig()
+	cfg.Town.GridW, cfg.Town.GridH = 3, 3
+	cfg.Camera.Width, cfg.Camera.Height = 16, 12
+	w, err := sim.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCollectEpisodeProducesSamples(t *testing.T) {
+	w := smallWorld(t)
+	from, to, err := w.Town().RandomMission(rng.New(1), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.NewEpisode(sim.EpisodeConfig{From: from, To: to, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := CollectEpisode(e, DefaultCollectConfig(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 50 {
+		t.Fatalf("only %d samples collected", len(samples))
+	}
+	for i, s := range samples {
+		if s.Image == nil || s.Image.Dim(1) != 12 || s.Image.Dim(2) != 16 {
+			t.Fatalf("sample %d image bad", i)
+		}
+		if s.Steer < -1 || s.Steer > 1 {
+			t.Fatalf("sample %d steer %v out of range", i, s.Steer)
+		}
+		if s.TargetSpeed < 0 || s.TargetSpeed > 25 {
+			t.Fatalf("sample %d target speed %v out of range", i, s.TargetSpeed)
+		}
+		if s.Command == world.TurnInvalid {
+			t.Fatalf("sample %d has invalid command", i)
+		}
+	}
+}
+
+func TestCollectEpisodeKeepEverySubsamples(t *testing.T) {
+	w := smallWorld(t)
+	from, to, err := w.Town().RandomMission(rng.New(4), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(keepEvery int) int {
+		e, err := w.NewEpisode(sim.EpisodeConfig{From: from, To: to, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultCollectConfig()
+		cfg.KeepEvery = keepEvery
+		cfg.PerturbProb = 0 // identical trajectories
+		s, err := CollectEpisode(e, cfg, rng.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(s)
+	}
+	all := collect(1)
+	half := collect(2)
+	if half < all/3 || half > all/2+2 {
+		t.Errorf("KeepEvery=2 kept %d of %d", half, all)
+	}
+}
+
+func TestCollectDatasetPoolsMissions(t *testing.T) {
+	w := smallWorld(t)
+	cfg := DefaultCollectConfig()
+	cfg.KeepEvery = 4
+	data, err := CollectDataset(w, 2, 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 100 {
+		t.Errorf("dataset only %d samples from 2 missions", len(data))
+	}
+	// Commands should include at least follow plus some turn.
+	kinds := map[world.TurnKind]bool{}
+	for _, s := range data {
+		kinds[s.Command] = true
+	}
+	if !kinds[world.TurnFollow] {
+		t.Error("dataset has no follow samples")
+	}
+	if len(kinds) < 2 {
+		t.Error("dataset has no junction commands")
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	w := smallWorld(t)
+	run := func() int {
+		data, err := CollectDataset(w, 1, 9, DefaultCollectConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(data)
+	}
+	if run() != run() {
+		t.Error("collection not deterministic")
+	}
+}

@@ -1,0 +1,84 @@
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/avfi/avfi/internal/sim"
+)
+
+// PretrainSpec names one (world, agent, data, training) combination for the
+// process-wide pretrained cache. Campaign code, benchmarks and examples all
+// evaluate the same trained agent, so training cost is paid once per
+// process.
+type PretrainSpec struct {
+	Missions int
+	Collect  CollectConfig
+	Train    TrainConfig
+	Agent    Config
+	// DataSeed drives mission sampling and perturbations.
+	DataSeed uint64
+}
+
+// DefaultPretrainSpec is the training recipe behind every paper-figure
+// experiment in this repository.
+func DefaultPretrainSpec() PretrainSpec {
+	return PretrainSpec{
+		Missions: 10,
+		Collect:  DefaultCollectConfig(),
+		Train:    DefaultTrainConfig(),
+		Agent:    DefaultConfig(),
+		DataSeed: 99,
+	}
+}
+
+var (
+	pretrainMu    sync.Mutex
+	pretrainCache = map[string]*Agent{}
+)
+
+// Pretrained returns the trained agent for (world, spec), training it on
+// first use and caching it for the rest of the process. The returned agent
+// is shared — Clone before mutating or driving.
+func Pretrained(w *sim.World, spec PretrainSpec) (*Agent, error) {
+	key := fmt.Sprintf("%+v|world=%+v", spec, wKey(w))
+	pretrainMu.Lock()
+	defer pretrainMu.Unlock()
+	if a, ok := pretrainCache[key]; ok {
+		return a, nil
+	}
+	a, err := TrainNew(w, spec)
+	if err != nil {
+		return nil, err
+	}
+	pretrainCache[key] = a
+	return a, nil
+}
+
+// TrainNew collects demonstrations on the world and trains a fresh agent
+// (no caching).
+func TrainNew(w *sim.World, spec PretrainSpec) (*Agent, error) {
+	cam := w.Renderer().Config()
+	spec.Agent.ImageW = cam.Width
+	spec.Agent.ImageH = cam.Height
+
+	data, err := CollectDataset(w, spec.Missions, spec.DataSeed, spec.Collect)
+	if err != nil {
+		return nil, fmt.Errorf("agent: pretrain: %w", err)
+	}
+	a, err := New(spec.Agent)
+	if err != nil {
+		return nil, fmt.Errorf("agent: pretrain: %w", err)
+	}
+	if _, err := a.Train(data, spec.Train); err != nil {
+		return nil, fmt.Errorf("agent: pretrain: %w", err)
+	}
+	return a, nil
+}
+
+// wKey summarizes a world's identity for the cache key.
+func wKey(w *sim.World) string {
+	t := w.Town()
+	return fmt.Sprintf("nodes=%d,edges=%d,buildings=%d",
+		t.Net.NodeCount(), t.Net.EdgeCount(), len(t.Buildings))
+}

@@ -1,0 +1,66 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/avfi/avfi/internal/nn"
+)
+
+// fileFormat is the on-disk envelope: config plus each component network's
+// serialized bytes.
+type fileFormat struct {
+	Cfg        Config
+	Components map[string][]byte
+}
+
+// Save writes the agent (config + all weights) to w.
+func (a *Agent) Save(w io.Writer) error {
+	ff := fileFormat{Cfg: a.cfg, Components: make(map[string][]byte)}
+	for name, net := range a.Networks() {
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err != nil {
+			return fmt.Errorf("agent: save %s: %w", name, err)
+		}
+		ff.Components[name] = buf.Bytes()
+	}
+	if err := gob.NewEncoder(w).Encode(ff); err != nil {
+		return fmt.Errorf("agent: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an agent saved with Save.
+func Load(r io.Reader) (*Agent, error) {
+	var ff fileFormat
+	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("agent: load: %w", err)
+	}
+	a, err := New(ff.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("agent: load: %w", err)
+	}
+	load := func(name string) (*nn.Network, error) {
+		raw, ok := ff.Components[name]
+		if !ok {
+			return nil, fmt.Errorf("agent: load: missing component %q", name)
+		}
+		return nn.Load(bytes.NewReader(raw))
+	}
+	if a.trunk, err = load("trunk"); err != nil {
+		return nil, err
+	}
+	if a.meas, err = load("meas"); err != nil {
+		return nil, err
+	}
+	for _, cmd := range commands {
+		h, err := load("head-" + cmd.String())
+		if err != nil {
+			return nil, err
+		}
+		a.heads[cmd] = h
+	}
+	return a, nil
+}

@@ -1,0 +1,131 @@
+// Package autopilot is the oracle expert driver: a pure-pursuit steering
+// controller with curvature-aware speed control and obstacle yielding,
+// operating on ground-truth state.
+//
+// It plays two roles in the AVFI reproduction, mirroring the paper's
+// pipeline: (1) it generates the demonstration data the imitation-learning
+// agent (internal/agent) is trained on — standing in for the human
+// demonstrations behind Codevilla et al.'s IL-CNN — and (2) it is the
+// fault-free reference controller campaigns compare against.
+package autopilot
+
+import (
+	"math"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// Config tunes the expert.
+type Config struct {
+	// CruiseSpeed is the target speed on straights, m/s.
+	CruiseSpeed float64
+	// LookaheadBase and LookaheadGain set the pure-pursuit lookahead
+	// distance: base + gain*speed.
+	LookaheadBase float64
+	LookaheadGain float64
+	// MaxLatAccel bounds cornering speed, m/s^2.
+	MaxLatAccel float64
+	// ThrottleGain is the proportional speed-error gain.
+	ThrottleGain float64
+	// YieldDistance is how far ahead the expert scans for obstacles.
+	YieldDistance float64
+}
+
+// DefaultConfig returns the expert used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		CruiseSpeed:   7,
+		LookaheadBase: 4,
+		LookaheadGain: 0.35,
+		MaxLatAccel:   2.2,
+		ThrottleGain:  0.5,
+		YieldDistance: 11,
+	}
+}
+
+// Pilot drives one route.
+type Pilot struct {
+	route  *world.Route
+	params physics.VehicleParams
+	cfg    Config
+}
+
+// New constructs a pilot for the route.
+func New(route *world.Route, params physics.VehicleParams, cfg Config) *Pilot {
+	return &Pilot{route: route, params: params, cfg: cfg}
+}
+
+// Control computes the expert action from ground truth: the ego state and
+// the collision boxes of every other road user.
+func (p *Pilot) Control(state physics.VehicleState, obstacles []geom.OBB) physics.Control {
+	s, _, _ := p.route.Project(state.Pose.Pos)
+
+	// --- Pure-pursuit steering ---
+	lookahead := p.cfg.LookaheadBase + p.cfg.LookaheadGain*state.Speed
+	target := p.route.PointAt(s + lookahead)
+	local := state.Pose.ToLocal(target)
+	// Curvature of the arc through the target: k = 2y/L^2.
+	l2 := math.Max(local.LenSq(), 1e-6)
+	curvature := 2 * local.Y / l2
+	steerAngle := math.Atan(curvature * p.params.Wheelbase)
+	steer := geom.Clamp(steerAngle/p.params.MaxSteerAngle, -1, 1)
+
+	// --- Speed target: slow for upcoming curvature and for the goal ---
+	targetV := p.cfg.CruiseSpeed
+	if curv := p.upcomingCurvature(s); curv > 1e-4 {
+		vMax := math.Sqrt(p.cfg.MaxLatAccel / curv)
+		targetV = math.Min(targetV, math.Max(vMax, 2.0))
+	}
+	if rem := p.route.RemainingAt(s); rem < 15 {
+		// Taper to a stop at the goal (the floor keeps approach speed
+		// reasonable until the final couple of meters).
+		floor := 1.5
+		if rem < 4 {
+			floor = 0
+		}
+		targetV = math.Min(targetV, math.Max(rem/2.5, floor))
+	}
+
+	// --- Obstacle yielding ---
+	if p.obstacleAhead(state, obstacles) {
+		return physics.Control{Steer: steer, Brake: 1}
+	}
+
+	// --- Longitudinal P control ---
+	errV := targetV - state.Speed
+	ctl := physics.Control{Steer: steer}
+	if errV >= 0 {
+		ctl.Throttle = geom.Clamp(p.cfg.ThrottleGain*errV, 0, 1)
+	} else {
+		ctl.Brake = geom.Clamp(-p.cfg.ThrottleGain*errV, 0, 1)
+	}
+	return ctl
+}
+
+// upcomingCurvature estimates path curvature over the next stretch: the
+// heading change between two lookahead points divided by their separation.
+func (p *Pilot) upcomingCurvature(s float64) float64 {
+	const span = 12.0
+	h1 := p.route.HeadingAt(s + 2)
+	h2 := p.route.HeadingAt(s + 2 + span)
+	return math.Abs(geom.AngleDiff(h1, h2)) / span
+}
+
+// obstacleAhead reports whether any obstacle box intrudes into the ego's
+// forward corridor within the yield envelope.
+func (p *Pilot) obstacleAhead(state physics.VehicleState, obstacles []geom.OBB) bool {
+	reach := p.cfg.YieldDistance + physics.StoppingDistance(state.Speed, p.params)
+	corridor := geom.NewOBB(
+		state.Pose.Advance(p.params.Length/2+reach/2),
+		reach,
+		p.params.Width+0.5,
+	)
+	for _, ob := range obstacles {
+		if corridor.Intersects(ob) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,200 @@
+package autopilot
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// straightRoute builds a 300 m straight route along +X.
+func straightRoute(t *testing.T) *world.Route {
+	t.Helper()
+	net := world.NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(300, 0))
+	net.AddEdge(a, b)
+	r, err := net.PlanRoute(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// lRoute builds an L-shaped route with a left turn.
+func lRoute(t *testing.T) *world.Route {
+	t.Helper()
+	net := world.NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(150, 0))
+	c := net.AddNode(geom.V(150, 150))
+	net.AddEdge(a, b)
+	net.AddEdge(b, c)
+	r, err := net.PlanRoute(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func drive(route *world.Route, steps int, obstacles []geom.OBB) (physics.VehicleState, float64) {
+	params := physics.DefaultVehicleParams()
+	pilot := New(route, params, DefaultConfig())
+	state := physics.VehicleState{Pose: route.Start()}
+	maxLat := 0.0
+	for i := 0; i < steps; i++ {
+		ctl := pilot.Control(state, obstacles)
+		state = physics.StepVehicle(state, ctl, params, 1.0/15)
+		_, lat, _ := route.Project(state.Pose.Pos)
+		if math.Abs(lat) > maxLat {
+			maxLat = math.Abs(lat)
+		}
+	}
+	return state, maxLat
+}
+
+func TestTracksStraightRoute(t *testing.T) {
+	route := straightRoute(t)
+	state, maxLat := drive(route, 15*30, nil)
+	if state.Pose.Pos.X < 150 {
+		t.Errorf("expert covered only %.0f m in 30 s", state.Pose.Pos.X)
+	}
+	if maxLat > 0.5 {
+		t.Errorf("max lateral error %.2f m on a straight", maxLat)
+	}
+}
+
+func TestReachesCruiseSpeedOnStraight(t *testing.T) {
+	route := straightRoute(t)
+	params := physics.DefaultVehicleParams()
+	pilot := New(route, params, DefaultConfig())
+	state := physics.VehicleState{Pose: route.Start()}
+	for i := 0; i < 15*10; i++ {
+		state = physics.StepVehicle(state, pilot.Control(state, nil), params, 1.0/15)
+	}
+	cfg := DefaultConfig()
+	if state.Speed < cfg.CruiseSpeed*0.8 {
+		t.Errorf("speed after 10 s = %.1f, cruise %.1f", state.Speed, cfg.CruiseSpeed)
+	}
+	if state.Speed > cfg.CruiseSpeed*1.15 {
+		t.Errorf("overshoot: %.1f vs cruise %.1f", state.Speed, cfg.CruiseSpeed)
+	}
+}
+
+func TestNavigatesTurnWithinLane(t *testing.T) {
+	route := lRoute(t)
+	state, maxLat := drive(route, 15*90, nil)
+	// Must end near the goal.
+	if state.Pose.Pos.Dist(route.Goal()) > 10 {
+		t.Errorf("ended %.0f m from goal", state.Pose.Pos.Dist(route.Goal()))
+	}
+	// Corner cutting happens at the junction (waypoints jump across the
+	// trim region), but must stay bounded.
+	if maxLat > 4 {
+		t.Errorf("max lateral error %.2f m through turn", maxLat)
+	}
+}
+
+func TestSlowsForTurn(t *testing.T) {
+	route := lRoute(t)
+	params := physics.DefaultVehicleParams()
+	pilot := New(route, params, DefaultConfig())
+	state := physics.VehicleState{Pose: route.Start()}
+	minSpeedNearTurn := math.MaxFloat64
+	for i := 0; i < 15*60; i++ {
+		state = physics.StepVehicle(state, pilot.Control(state, nil), params, 1.0/15)
+		// The junction sits at (150, 0); sample speeds within 20 m of it
+		// once the vehicle is up to speed.
+		if i > 15*5 && state.Pose.Pos.Dist(geom.V(150, 0)) < 20 {
+			if state.Speed < minSpeedNearTurn {
+				minSpeedNearTurn = state.Speed
+			}
+		}
+	}
+	cruise := DefaultConfig().CruiseSpeed
+	if minSpeedNearTurn > cruise*0.8 {
+		t.Errorf("expert did not slow for the turn: min %.1f near junction (cruise %.1f)", minSpeedNearTurn, cruise)
+	}
+}
+
+func TestBrakesForObstacle(t *testing.T) {
+	route := straightRoute(t)
+	params := physics.DefaultVehicleParams()
+	pilot := New(route, params, DefaultConfig())
+	state := physics.VehicleState{Pose: route.Start()}
+	// Reach speed first.
+	for i := 0; i < 15*8; i++ {
+		state = physics.StepVehicle(state, pilot.Control(state, nil), params, 1.0/15)
+	}
+	// Obstacle parked dead ahead.
+	obstacle := geom.NewOBB(geom.Pose{Pos: state.Pose.Pos.Add(geom.V(25, 0))}, 4.5, 2)
+	stopped := false
+	for i := 0; i < 15*10; i++ {
+		state = physics.StepVehicle(state, pilot.Control(state, []geom.OBB{obstacle}), params, 1.0/15)
+		if state.Speed < 0.05 {
+			stopped = true
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("expert never stopped for the obstacle")
+	}
+	// Must have stopped short of the obstacle box.
+	ego := physics.VehicleOBB(state, params)
+	if ego.Intersects(obstacle) {
+		t.Error("expert stopped inside the obstacle")
+	}
+}
+
+func TestIgnoresObstacleBeside(t *testing.T) {
+	route := straightRoute(t)
+	params := physics.DefaultVehicleParams()
+	pilot := New(route, params, DefaultConfig())
+	state := physics.VehicleState{Pose: route.Start(), Speed: 6}
+	// Obstacle well off the corridor (opposite lane/sidewalk).
+	obstacle := geom.NewOBB(geom.Pose{Pos: state.Pose.Pos.Add(geom.V(15, 6))}, 4.5, 2)
+	ctl := pilot.Control(state, []geom.OBB{obstacle})
+	if ctl.Brake > 0.5 {
+		t.Errorf("expert slammed brakes for an obstacle beside the road: %+v", ctl)
+	}
+}
+
+func TestStopsNearGoal(t *testing.T) {
+	route := straightRoute(t)
+	params := physics.DefaultVehicleParams()
+	pilot := New(route, params, DefaultConfig())
+	// Start 10 m from the goal at speed.
+	start := route.PointAt(route.Length() - 10)
+	state := physics.VehicleState{
+		Pose:  geom.Pose{Pos: start, Heading: route.HeadingAt(route.Length() - 10)},
+		Speed: 7,
+	}
+	ctl := pilot.Control(state, nil)
+	// Near the goal the speed target drops, so the expert must not be at
+	// full throttle.
+	if ctl.Throttle > 0.9 {
+		t.Errorf("full throttle 10 m from goal: %+v", ctl)
+	}
+}
+
+func TestControlAlwaysSane(t *testing.T) {
+	route := lRoute(t)
+	params := physics.DefaultVehicleParams()
+	pilot := New(route, params, DefaultConfig())
+	// Probe controls from odd states (off-route, reversed heading).
+	states := []physics.VehicleState{
+		{Pose: geom.P(75, 20, -1.2), Speed: 9},
+		{Pose: geom.P(-5, -5, 3.0), Speed: 0},
+		{Pose: geom.P(150, 150, 0.5), Speed: 3},
+	}
+	for _, s := range states {
+		ctl := pilot.Control(s, nil)
+		if ctl.Steer < -1 || ctl.Steer > 1 || ctl.Throttle < 0 || ctl.Throttle > 1 ||
+			ctl.Brake < 0 || ctl.Brake > 1 ||
+			math.IsNaN(ctl.Steer+ctl.Throttle+ctl.Brake) {
+			t.Errorf("insane control %+v from state %+v", ctl, s)
+		}
+	}
+}

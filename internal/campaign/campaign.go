@@ -1,0 +1,402 @@
+// Package campaign orchestrates AVFI fault-injection campaigns: it sweeps
+// injectors over navigation missions and repetitions, runs each episode
+// through the client/server protocol with the fault pipeline installed,
+// and aggregates the paper's resilience metrics per injector.
+//
+// A campaign is a pure function of its configuration: missions, episode
+// seeds and injector randomness all derive from Config.Seed, so every
+// figure in EXPERIMENTS.md regenerates bit-identically.
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/avfi/avfi/internal/agent"
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/metrics"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/safety"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/simclient"
+	"github.com/avfi/avfi/internal/simserver"
+	"github.com/avfi/avfi/internal/transport"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// InjectorSource names and constructs one injector column of a campaign.
+type InjectorSource struct {
+	// Name labels the column in reports.
+	Name string
+	// New builds a fresh (stateful) instance per episode. When nil, Name
+	// is resolved through the fault registry.
+	New func() interface{}
+	// InjectionFrame is when the fault activates (frames); 0 means the
+	// fault is active from episode start. Used for TTV accounting.
+	InjectionFrame int
+}
+
+// Registry resolves a registered injector name into a source.
+func Registry(name string) InjectorSource { return InjectorSource{Name: name} }
+
+// Config parameterizes a campaign.
+type Config struct {
+	// World selects the town and camera.
+	World sim.WorldConfig
+	// Agent provides the system under test.
+	Agent AgentSource
+	// Injectors are the campaign columns (include fault.NoopName for the
+	// baseline bar).
+	Injectors []InjectorSource
+	// Missions is the number of distinct navigation scenarios.
+	Missions int
+	// Repetitions is how many seeds run per (mission, injector).
+	Repetitions int
+	// MinMissionDistM filters mission endpoints by straight-line distance.
+	MinMissionDistM float64
+	// NumNPCs and NumPedestrians populate each episode.
+	NumNPCs        int
+	NumPedestrians int
+	// Weather applies to every episode.
+	Weather world.Weather
+	// EnableAEB installs the independent emergency-braking safety monitor
+	// in every episode's client stack.
+	EnableAEB bool
+	// UseTCP runs episodes over loopback TCP instead of the in-proc pipe.
+	UseTCP bool
+	// Parallelism bounds concurrent episodes (0 = NumCPU).
+	Parallelism int
+	// Seed drives all campaign randomness.
+	Seed uint64
+}
+
+// AgentSource supplies the driving agent: either a ready instance or a
+// pretraining recipe (resolved through the process-wide cache).
+type AgentSource struct {
+	Agent    *agent.Agent
+	Pretrain *agent.PretrainSpec
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Injectors) == 0 {
+		return fmt.Errorf("campaign: no injectors")
+	}
+	if c.Missions <= 0 || c.Repetitions <= 0 {
+		return fmt.Errorf("campaign: missions=%d repetitions=%d must be positive", c.Missions, c.Repetitions)
+	}
+	if c.Agent.Agent == nil && c.Agent.Pretrain == nil {
+		return fmt.Errorf("campaign: no agent source")
+	}
+	for i, src := range c.Injectors {
+		if src.Name == "" {
+			return fmt.Errorf("campaign: injector %d has no name", i)
+		}
+		if src.New == nil {
+			if _, err := fault.Lookup(src.Name); err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// ResultSet is a finished campaign.
+type ResultSet struct {
+	// Records holds every episode in deterministic order.
+	Records []metrics.EpisodeRecord
+	// Reports aggregates per injector, in the configured injector order.
+	Reports []metrics.Report
+}
+
+// ReportFor returns the report for an injector name.
+func (rs *ResultSet) ReportFor(name string) (metrics.Report, bool) {
+	for _, r := range rs.Reports {
+		if r.Injector == name {
+			return r, true
+		}
+	}
+	return metrics.Report{}, false
+}
+
+// Runner executes campaigns over one world and agent.
+type Runner struct {
+	cfg   Config
+	world *sim.World
+	agent *agent.Agent
+	// missions are the sampled (from, to) scenarios.
+	missions [][2]world.NodeID
+}
+
+// NewRunner builds the world, resolves the agent (training it on first use
+// if a pretrain spec is given), and samples the missions.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := sim.NewWorld(cfg.World)
+	if err != nil {
+		return nil, err
+	}
+	a := cfg.Agent.Agent
+	if a == nil {
+		a, err = agent.Pretrained(w, *cfg.Agent.Pretrain)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := &Runner{cfg: cfg, world: w, agent: a}
+
+	minDist := cfg.MinMissionDistM
+	if minDist == 0 {
+		minDist = 150
+	}
+	missionStream := rng.New(cfg.Seed).Split("missions")
+	for m := 0; m < cfg.Missions; m++ {
+		from, to, err := w.Town().RandomMission(missionStream.SplitN(uint64(m)), minDist)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: mission %d: %w", m, err)
+		}
+		r.missions = append(r.missions, [2]world.NodeID{from, to})
+	}
+	return r, nil
+}
+
+// World exposes the runner's world (for examples and diagnostics).
+func (r *Runner) World() *sim.World { return r.world }
+
+// Agent exposes the shared trained agent (clone before mutating).
+func (r *Runner) Agent() *agent.Agent { return r.agent }
+
+// Missions exposes the sampled scenarios.
+func (r *Runner) Missions() [][2]world.NodeID {
+	out := make([][2]world.NodeID, len(r.missions))
+	copy(out, r.missions)
+	return out
+}
+
+// job is one episode to run.
+type job struct {
+	injectorIdx int
+	mission     int
+	repetition  int
+}
+
+// Run executes the full sweep and aggregates reports.
+func (r *Runner) Run() (*ResultSet, error) {
+	jobs := make([]job, 0, len(r.cfg.Injectors)*len(r.missions)*r.cfg.Repetitions)
+	for i := range r.cfg.Injectors {
+		for m := range r.missions {
+			for rep := 0; rep < r.cfg.Repetitions; rep++ {
+				jobs = append(jobs, job{injectorIdx: i, mission: m, repetition: rep})
+			}
+		}
+	}
+
+	parallelism := r.cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		records  []metrics.EpisodeRecord
+		firstErr error
+	)
+	jobCh := make(chan job)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				rec, err := r.runEpisode(j)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				records = append(records, rec)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Deterministic order regardless of scheduling.
+	sort.Slice(records, func(a, b int) bool {
+		ra, rb := records[a], records[b]
+		if ra.Injector != rb.Injector {
+			return ra.Injector < rb.Injector
+		}
+		if ra.Mission != rb.Mission {
+			return ra.Mission < rb.Mission
+		}
+		return ra.Repetition < rb.Repetition
+	})
+
+	rs := &ResultSet{Records: records}
+	grouped := metrics.GroupByInjector(records)
+	for _, src := range r.cfg.Injectors {
+		rs.Reports = append(rs.Reports, metrics.BuildReport(src.Name, grouped[src.Name]))
+	}
+	return rs, nil
+}
+
+// episodeSeed derives the deterministic seed for one job.
+func (r *Runner) episodeSeed(injName string, mission, rep int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", r.cfg.Seed, injName, mission, rep)
+	return h.Sum64()
+}
+
+// runEpisode executes one job end to end.
+func (r *Runner) runEpisode(j job) (metrics.EpisodeRecord, error) {
+	src := r.cfg.Injectors[j.injectorIdx]
+	pair := r.missions[j.mission]
+	seed := r.episodeSeed(src.Name, j.mission, j.repetition)
+
+	episode, err := r.world.NewEpisode(sim.EpisodeConfig{
+		From: pair[0], To: pair[1],
+		Seed:           seed,
+		Weather:        r.cfg.Weather,
+		NumNPCs:        r.cfg.NumNPCs,
+		NumPedestrians: r.cfg.NumPedestrians,
+	})
+	if err != nil {
+		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: %w", src.Name, j.mission, j.repetition, err)
+	}
+
+	// Instantiate the injector and slot it into every role it implements.
+	inst := instantiate(src)
+	driver := simclient.NewFaultedDriver(r.agent.Clone(), nil, nil, nil, rng.New(seed).Split("fault"))
+	if in, ok := inst.(fault.InputInjector); ok {
+		driver.Input = in
+	}
+	if out, ok := inst.(fault.OutputInjector); ok {
+		driver.Output = out
+	}
+	if tm, ok := inst.(fault.TimingInjector); ok {
+		driver.Timing = tm
+	}
+	if mi, ok := inst.(fault.ModelInjector); ok {
+		driver.ApplyModelFault(mi, rng.New(seed).Split("mlfault"))
+	}
+	if r.cfg.EnableAEB {
+		driver.AEB = safety.NewAEB(episode.EgoParams())
+	}
+
+	res, err := r.execute(episode, driver)
+	if err != nil {
+		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: %w", src.Name, j.mission, j.repetition, err)
+	}
+	injTime := float64(src.InjectionFrame) * sim.Dt
+	return metrics.FromSimResult(src.Name, j.mission, j.repetition, seed, res, injTime), nil
+}
+
+// instantiate builds the injector instance for one episode.
+func instantiate(src InjectorSource) interface{} {
+	if src.New != nil {
+		return src.New()
+	}
+	spec, err := fault.Lookup(src.Name)
+	if err != nil {
+		// Validate() checked registration; this is unreachable.
+		panic(err)
+	}
+	return spec.New()
+}
+
+// Instantiate builds one injector instance from a source, resolving
+// registry names; exported for tools and examples that drive episodes
+// outside the campaign runner.
+func Instantiate(src InjectorSource) (interface{}, error) {
+	if src.New != nil {
+		return src.New(), nil
+	}
+	spec, err := fault.Lookup(src.Name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.New(), nil
+}
+
+// execute runs one episode over the configured transport.
+func (r *Runner) execute(episode *sim.Episode, driver simclient.Driver) (sim.Result, error) {
+	if r.cfg.UseTCP {
+		return r.executeTCP(episode, driver)
+	}
+	serverConn, clientConn := transport.Pipe()
+	defer serverConn.Close()
+	defer clientConn.Close()
+
+	var (
+		wg        sync.WaitGroup
+		res       sim.Result
+		serverErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, serverErr = simserver.ServeEpisode(episode, serverConn)
+	}()
+	if _, err := simclient.RunEpisode(clientConn, driver); err != nil {
+		return sim.Result{}, err
+	}
+	wg.Wait()
+	if serverErr != nil {
+		return sim.Result{}, serverErr
+	}
+	return res, nil
+}
+
+func (r *Runner) executeTCP(episode *sim.Episode, driver simclient.Driver) (sim.Result, error) {
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer l.Close()
+
+	var (
+		wg        sync.WaitGroup
+		res       sim.Result
+		serverErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer conn.Close()
+		res, serverErr = simserver.ServeEpisode(episode, conn)
+	}()
+
+	clientConn, err := transport.Dial(l.Addr())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer clientConn.Close()
+	if _, err := simclient.RunEpisode(clientConn, driver); err != nil {
+		return sim.Result{}, err
+	}
+	wg.Wait()
+	if serverErr != nil {
+		return sim.Result{}, serverErr
+	}
+	return res, nil
+}

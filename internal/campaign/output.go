@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/avfi/avfi/internal/metrics"
+)
+
+// WriteRecordsCSV emits one row per episode.
+func WriteRecordsCSV(w io.Writer, records []metrics.EpisodeRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"injector", "mission", "repetition", "seed", "success",
+		"distance_km", "duration_s", "violations", "accidents", "vpk", "apk", "ttv_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("campaign: csv: %w", err)
+	}
+	for _, r := range records {
+		accidents := 0
+		for _, v := range r.Violations {
+			if v.Accident {
+				accidents++
+			}
+		}
+		ttv := ""
+		if t, ok := r.TTV(); ok {
+			ttv = strconv.FormatFloat(t, 'f', 3, 64)
+		}
+		row := []string{
+			r.Injector,
+			strconv.Itoa(r.Mission),
+			strconv.Itoa(r.Repetition),
+			strconv.FormatUint(r.Seed, 10),
+			strconv.FormatBool(r.Success),
+			strconv.FormatFloat(r.DistanceKM, 'f', 4, 64),
+			strconv.FormatFloat(r.DurationSec, 'f', 2, 64),
+			strconv.Itoa(len(r.Violations)),
+			strconv.Itoa(accidents),
+			strconv.FormatFloat(r.VPK(), 'f', 3, 64),
+			strconv.FormatFloat(r.APK(), 'f', 3, 64),
+			ttv,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("campaign: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteReportsCSV emits one row per injector aggregate.
+func WriteReportsCSV(w io.Writer, reports []metrics.Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"injector", "episodes", "msr_pct",
+		"vpk_min", "vpk_q1", "vpk_median", "vpk_q3", "vpk_max", "vpk_mean",
+		"apk_mean", "ttv_mean_s", "ttv_episodes", "total_violations", "total_km", "aggregate_vpk",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("campaign: csv: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'f', 3, 64) }
+	for _, r := range reports {
+		row := []string{
+			r.Injector, strconv.Itoa(r.Episodes), f(r.MSR),
+			f(r.VPK.Min), f(r.VPK.Q1), f(r.VPK.Median), f(r.VPK.Q3), f(r.VPK.Max), f(r.MeanVPK),
+			f(r.MeanAPK), f(r.MeanTTV), strconv.Itoa(r.TTVEpisodes),
+			strconv.Itoa(r.TotalViolations), f(r.TotalKM), f(r.AggregateVPK),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("campaign: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the full result set as JSON.
+func WriteJSON(w io.Writer, rs *ResultSet) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rs); err != nil {
+		return fmt.Errorf("campaign: json: %w", err)
+	}
+	return nil
+}
+
+// PrintTable renders the per-injector reports as an aligned text table —
+// the textual form of one paper figure.
+func PrintTable(w io.Writer, title string, reports []metrics.Report) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-14s %4s %8s %24s %10s %12s\n",
+		"injector", "n", "MSR(%)", "VPK med [q1,q3]", "APK mean", "TTV mean(s)")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-14s %4d %8.1f %10.2f [%5.2f,%5.2f] %10.2f %12.2f\n",
+			r.Injector, r.Episodes, r.MSR,
+			r.VPK.Median, r.VPK.Q1, r.VPK.Q3,
+			r.MeanAPK, r.MeanTTV)
+	}
+}

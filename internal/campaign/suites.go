@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/fault/imagefault"
+	"github.com/avfi/avfi/internal/fault/timingfault"
+
+	// Link the remaining built-in injectors so campaign users can resolve
+	// any registered name.
+	_ "github.com/avfi/avfi/internal/fault/hwfault"
+	_ "github.com/avfi/avfi/internal/fault/mlfault"
+	_ "github.com/avfi/avfi/internal/fault/sensorfault"
+)
+
+// InputFaultSuite returns the paper's Figure 2/3 campaign columns: the
+// fault-free baseline plus the five camera input-fault injectors, in the
+// figures' x-axis order.
+func InputFaultSuite() []InjectorSource {
+	return []InjectorSource{
+		Registry(fault.NoopName),
+		Registry(imagefault.GaussianName),
+		Registry(imagefault.SaltPepperName),
+		Registry(imagefault.SolidOccName),
+		Registry(imagefault.TranspOccName),
+		Registry(imagefault.WaterDropName),
+	}
+}
+
+// DelayName formats the column label for a Figure 4 delay point.
+func DelayName(frames int) string { return fmt.Sprintf("delay-%02d", frames) }
+
+// DelaySweep returns the paper's Figure 4 campaign columns: output delay of
+// k frames between the agent's decision and its actuation, for each k.
+// The paper sweeps {0, 5, 10, 20, 30} at 15 FPS (30 frames = 2 s).
+func DelaySweep(frames []int) []InjectorSource {
+	out := make([]InjectorSource, 0, len(frames))
+	for _, k := range frames {
+		k := k
+		out = append(out, InjectorSource{
+			Name: DelayName(k),
+			New:  func() interface{} { return timingfault.NewDelay(k) },
+		})
+	}
+	return out
+}
+
+// Fig4Frames is the paper's Figure 4 x-axis.
+var Fig4Frames = []int{0, 5, 10, 20, 30}
+
+// Windowed wraps an injector source so its fault activates at startFrame
+// rather than episode start — the campaign-level localizer choosing *when*
+// a fault strikes, which makes the TTV metric meaningful (time from
+// injection to first violation). Model (ML) faults apply at episode start
+// by construction and pass through unwrapped.
+func Windowed(src InjectorSource, startFrame int) InjectorSource {
+	inner := src.New
+	if inner == nil {
+		name := src.Name
+		inner = func() interface{} {
+			spec, err := fault.Lookup(name)
+			if err != nil {
+				panic(err) // Validate() checks registration before running
+			}
+			return spec.New()
+		}
+	}
+	return InjectorSource{
+		Name:           fmt.Sprintf("%s@%d", src.Name, startFrame),
+		InjectionFrame: startFrame,
+		New: func() interface{} {
+			inst := inner()
+			w := fault.Window{StartFrame: startFrame}
+			// Wrap every injector role the instance implements; Multi
+			// keeps serving all roles through the wrappers.
+			multi := &fault.Multi{InjectorName: src.Name}
+			any := false
+			if in, ok := inst.(fault.InputInjector); ok {
+				multi.Input = &fault.WindowedInput{Inner: in, Window: w}
+				any = true
+			}
+			if out, ok := inst.(fault.OutputInjector); ok {
+				multi.Output = &fault.WindowedOutput{Inner: out, Window: w}
+				any = true
+			}
+			if tm, ok := inst.(fault.TimingInjector); ok {
+				multi.Timing = &fault.WindowedTiming{Inner: tm, Window: w}
+				any = true
+			}
+			if !any {
+				// Model faults (or exotic injectors): unwrapped.
+				return inst
+			}
+			return multi
+		},
+	}
+}

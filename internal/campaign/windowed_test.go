@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/sim"
+)
+
+// probeInput records the frames it is invoked on.
+type probeInput struct {
+	minFrame *int64 // atomic; smallest frame seen
+	calls    *int64
+}
+
+func (probeInput) Name() string { return "probe" }
+
+func (p probeInput) InjectImage(_ *render.Image, frame int, _ *rng.Stream) {
+	atomic.AddInt64(p.calls, 1)
+	for {
+		cur := atomic.LoadInt64(p.minFrame)
+		if int64(frame) >= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt64(p.minFrame, cur, int64(frame)) {
+			return
+		}
+	}
+}
+
+func (p probeInput) InjectMeasurements(speed, gpsX, gpsY float64, _ int, _ *rng.Stream) (float64, float64, float64) {
+	return speed, gpsX, gpsY
+}
+
+func TestWindowedInjectorActivatesAtFrame(t *testing.T) {
+	minFrame := int64(1 << 40)
+	calls := int64(0)
+	const start = 30
+
+	src := Windowed(InjectorSource{
+		Name: "probe",
+		New: func() interface{} {
+			return probeInput{minFrame: &minFrame, calls: &calls}
+		},
+	}, start)
+
+	if src.Name != "probe@30" {
+		t.Errorf("windowed name = %q", src.Name)
+	}
+	if src.InjectionFrame != start {
+		t.Errorf("InjectionFrame = %d", src.InjectionFrame)
+	}
+
+	cfg := tinyConfig(t, []InjectorSource{src})
+	cfg.Missions = 1
+	cfg.Repetitions = 1
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if atomic.LoadInt64(&calls) == 0 {
+		t.Fatal("windowed injector never fired")
+	}
+	if got := atomic.LoadInt64(&minFrame); got < start {
+		t.Errorf("injector fired at frame %d, window starts at %d", got, start)
+	}
+	// The record carries the injection time for TTV accounting.
+	wantTime := float64(start) * sim.Dt
+	if rs.Records[0].InjectionTimeSec != wantTime {
+		t.Errorf("InjectionTimeSec = %v, want %v", rs.Records[0].InjectionTimeSec, wantTime)
+	}
+}
+
+func TestWindowedRegistryInjector(t *testing.T) {
+	// Wrapping a registry-resolved injector must also work.
+	src := Windowed(Registry("gaussian"), 10)
+	inst := src.New()
+	if _, ok := inst.(fault.InputInjector); !ok {
+		t.Fatal("wrapped registry injector lost its InputInjector role")
+	}
+	cfg := tinyConfig(t, []InjectorSource{src})
+	cfg.Missions = 1
+	cfg.Repetitions = 1
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedTimingInjector(t *testing.T) {
+	// Timing injectors keep working when windowed.
+	src := Windowed(Registry("outputdelay"), 5)
+	inst := src.New()
+	if _, ok := inst.(fault.TimingInjector); !ok {
+		t.Fatal("wrapped timing injector lost its TimingInjector role")
+	}
+}

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+)
+
+// addHalf is a test InputInjector adding 0.5 to every pixel and 1 to speed.
+type addHalf struct{}
+
+func (addHalf) Name() string { return "addhalf" }
+func (addHalf) InjectImage(img *render.Image, _ int, _ *rng.Stream) {
+	for i := range img.Pix {
+		img.Pix[i] += 0.5
+	}
+}
+func (addHalf) InjectMeasurements(speed, gpsX, gpsY float64, _ int, _ *rng.Stream) (float64, float64, float64) {
+	return speed + 1, gpsX, gpsY
+}
+
+// lidarZero is a test injector zeroing the scan.
+type lidarZero struct{ addHalf }
+
+func (lidarZero) InjectLidar(ranges []float64, _ int, _ *rng.Stream) {
+	for i := range ranges {
+		ranges[i] = 0
+	}
+}
+
+func TestChainAppliesStagesInOrder(t *testing.T) {
+	c := NewChain("double", addHalf{}, addHalf{})
+	img := render.NewImage(2, 2)
+	c.InjectImage(img, 0, rng.New(1))
+	if img.Pix[0] != 1.0 {
+		t.Errorf("two +0.5 stages gave %v", img.Pix[0])
+	}
+	speed, _, _ := c.InjectMeasurements(5, 0, 0, 0, rng.New(1))
+	if speed != 7 {
+		t.Errorf("two +1 stages gave speed %v", speed)
+	}
+	if c.Name() != "double" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestChainDelegatesLidarOnlyToCapableStages(t *testing.T) {
+	c := NewChain("mix", addHalf{}, lidarZero{})
+	ranges := []float64{10, 20, 30}
+	c.InjectLidar(ranges, 0, rng.New(2))
+	for i, v := range ranges {
+		if v != 0 {
+			t.Errorf("beam %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	c := NewChain("empty")
+	img := render.NewImage(2, 2)
+	img.Pix[0] = 0.25
+	c.InjectImage(img, 0, rng.New(3))
+	if img.Pix[0] != 0.25 {
+		t.Error("empty chain modified image")
+	}
+	s, x, y := c.InjectMeasurements(1, 2, 3, 0, rng.New(3))
+	if s != 1 || x != 2 || y != 3 {
+		t.Error("empty chain modified measurements")
+	}
+}

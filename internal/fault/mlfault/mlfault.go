@@ -1,0 +1,197 @@
+// Package mlfault implements AVFI's machine-learning fault models: noise
+// and bit flips injected into the parameters of the driving agent's neural
+// networks — "AVFI injects faults into the neural network by adding noise
+// into the parameters of the machine learning model (e.g., weights of the
+// neural network), which is modeled on real-world hardware failures."
+//
+// Localization follows the paper's two-step scheme: the localizer selects
+// which component/layer/weights to strike (uniformly across all parameters
+// by default, or targeted at a named component), then the fault model
+// corrupts them. Injection happens on a per-episode clone of the agent, so
+// campaigns never contaminate the shared pretrained model.
+package mlfault
+
+import (
+	"math"
+	"strings"
+
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/rng"
+)
+
+// Canonical injector names.
+const (
+	WeightNoiseName   = "weightnoise"
+	WeightBitFlipName = "weightbitflip"
+	NeuronStuckName   = "neuronstuck"
+)
+
+// WeightNoise adds Gaussian noise to a fraction of the model's weights.
+type WeightNoise struct {
+	// Sigma is the noise stddev relative to each tensor's RMS weight
+	// magnitude, so the same setting perturbs conv filters and dense
+	// layers proportionally.
+	Sigma float64
+	// Fraction of weights hit (1 = all).
+	Fraction float64
+	// Component restricts injection to components whose name contains the
+	// string (empty = all components).
+	Component string
+}
+
+var _ fault.ModelInjector = (*WeightNoise)(nil)
+
+// NewWeightNoise returns the default weight-noise fault.
+func NewWeightNoise() *WeightNoise { return &WeightNoise{Sigma: 0.5, Fraction: 1} }
+
+// Name implements fault.ModelInjector.
+func (w *WeightNoise) Name() string { return WeightNoiseName }
+
+// InjectModel implements fault.ModelInjector.
+func (w *WeightNoise) InjectModel(visit func(fn func(component string, layer int, name string, t fault.ParamTensor)), r *rng.Stream) {
+	visit(func(component string, _ int, _ string, t fault.ParamTensor) {
+		if w.Component != "" && !strings.Contains(component, w.Component) {
+			return
+		}
+		data := t.Data()
+		rms := rmsOf(data)
+		if rms == 0 {
+			rms = 1e-3
+		}
+		for i := range data {
+			if w.Fraction < 1 && !r.Bool(w.Fraction) {
+				continue
+			}
+			data[i] += r.NormScaled(0, w.Sigma*rms)
+		}
+	})
+}
+
+// WeightBitFlip flips random bits in randomly chosen weights — SEUs in
+// weight memory.
+type WeightBitFlip struct {
+	// Flips is the total number of single-bit upsets.
+	Flips int
+	// Component restricts injection (empty = all).
+	Component string
+	// MantissaOnly restricts flips to the low 52 bits; exponent/sign flips
+	// are catastrophically visible, mantissa flips are the subtle ones.
+	MantissaOnly bool
+}
+
+var _ fault.ModelInjector = (*WeightBitFlip)(nil)
+
+// NewWeightBitFlip returns the default SEU fault.
+func NewWeightBitFlip() *WeightBitFlip { return &WeightBitFlip{Flips: 40} }
+
+// Name implements fault.ModelInjector.
+func (w *WeightBitFlip) Name() string { return WeightBitFlipName }
+
+// InjectModel implements fault.ModelInjector.
+func (w *WeightBitFlip) InjectModel(visit func(fn func(component string, layer int, name string, t fault.ParamTensor)), r *rng.Stream) {
+	// Collect eligible tensors first so flips distribute weight-uniformly.
+	var tensors []fault.ParamTensor
+	var sizes []float64
+	visit(func(component string, _ int, _ string, t fault.ParamTensor) {
+		if w.Component != "" && !strings.Contains(component, w.Component) {
+			return
+		}
+		tensors = append(tensors, t)
+		sizes = append(sizes, float64(t.Len()))
+	})
+	if len(tensors) == 0 {
+		return
+	}
+	for i := 0; i < w.Flips; i++ {
+		t := tensors[r.Pick(sizes)]
+		data := t.Data()
+		idx := r.Intn(len(data))
+		bitRange := 64
+		if w.MantissaOnly {
+			bitRange = 52
+		}
+		bit := uint(r.Intn(bitRange))
+		data[idx] = math.Float64frombits(math.Float64bits(data[idx]) ^ (1 << bit))
+	}
+}
+
+// NeuronStuck zeroes entire output units of a layer — stuck-at-0 neurons
+// (dead outputs after a hardware defect in an accelerator lane). For a
+// dense layer's (in, out) weight matrix it zeroes whole columns plus the
+// matching bias entries.
+type NeuronStuck struct {
+	// Count is how many neurons die.
+	Count int
+	// Component restricts injection (empty = all dense/conv layers).
+	Component string
+}
+
+var _ fault.ModelInjector = (*NeuronStuck)(nil)
+
+// NewNeuronStuck returns the default dead-neuron fault.
+func NewNeuronStuck() *NeuronStuck { return &NeuronStuck{Count: 8} }
+
+// Name implements fault.ModelInjector.
+func (n *NeuronStuck) Name() string { return NeuronStuckName }
+
+// InjectModel implements fault.ModelInjector.
+func (n *NeuronStuck) InjectModel(visit func(fn func(component string, layer int, name string, t fault.ParamTensor)), r *rng.Stream) {
+	// Gather 2-d weight tensors (dense weights, conv filter matrices).
+	type target struct {
+		t    fault.ParamTensor
+		cols int
+	}
+	var targets []target
+	var weights []float64
+	visit(func(component string, _ int, name string, t fault.ParamTensor) {
+		if n.Component != "" && !strings.Contains(component, n.Component) {
+			return
+		}
+		shape := t.Shape()
+		if len(shape) != 2 || (name != "weight" && name != "filter") {
+			return
+		}
+		targets = append(targets, target{t: t, cols: shape[1]})
+		weights = append(weights, float64(shape[1]))
+	})
+	if len(targets) == 0 {
+		return
+	}
+	for i := 0; i < n.Count; i++ {
+		tg := targets[r.Pick(weights)]
+		col := r.Intn(tg.cols)
+		data := tg.t.Data()
+		for row := 0; row*tg.cols+col < len(data); row++ {
+			data[row*tg.cols+col] = 0
+		}
+	}
+}
+
+func rmsOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += x * x
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+func init() {
+	fault.Register(fault.Spec{
+		Name: WeightNoiseName, Class: fault.ClassML,
+		Description: "Gaussian noise on all weights (sigma 0.5x RMS)",
+		New:         func() interface{} { return NewWeightNoise() },
+	})
+	fault.Register(fault.Spec{
+		Name: WeightBitFlipName, Class: fault.ClassML,
+		Description: "40 single-bit upsets across weight memory",
+		New:         func() interface{} { return NewWeightBitFlip() },
+	})
+	fault.Register(fault.Spec{
+		Name: NeuronStuckName, Class: fault.ClassML,
+		Description: "8 stuck-at-0 neurons across layers",
+		New:         func() interface{} { return NewNeuronStuck() },
+	})
+}

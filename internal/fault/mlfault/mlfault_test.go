@@ -1,0 +1,208 @@
+package mlfault
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/agent"
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/tensor"
+)
+
+// testAgent builds a small agent whose VisitParams we can bridge.
+func testAgent(t *testing.T) *agent.Agent {
+	t.Helper()
+	a, err := agent.New(agent.Config{
+		ImageW: 16, ImageH: 12, Conv1: 4, Conv2: 4,
+		FeatDim: 8, MeasDim: 4, HeadHidden: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// visitOf adapts agent.VisitParams to the fault.ModelInjector signature.
+func visitOf(a *agent.Agent) func(fn func(string, int, string, fault.ParamTensor)) {
+	return func(fn func(string, int, string, fault.ParamTensor)) {
+		a.VisitParams(func(component string, layer int, name string, v *tensor.Tensor) {
+			fn(component, layer, name, v)
+		})
+	}
+}
+
+// snapshot copies all parameters for later comparison.
+func snapshot(a *agent.Agent) []float64 {
+	var out []float64
+	a.VisitParams(func(_ string, _ int, _ string, v *tensor.Tensor) {
+		out = append(out, v.Data()...)
+	})
+	return out
+}
+
+func countChanged(a, b []float64) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWeightNoisePerturbsEverything(t *testing.T) {
+	a := testAgent(t)
+	before := snapshot(a)
+	NewWeightNoise().InjectModel(visitOf(a), rng.New(2))
+	after := snapshot(a)
+	changed := countChanged(before, after)
+	if changed < len(before)*9/10 {
+		t.Errorf("weight noise changed %d/%d params", changed, len(before))
+	}
+}
+
+func TestWeightNoiseComponentTargeting(t *testing.T) {
+	a := testAgent(t)
+	w := NewWeightNoise()
+	w.Component = "meas"
+	var measBefore, trunkBefore []float64
+	a.VisitParams(func(c string, _ int, _ string, v *tensor.Tensor) {
+		if c == "meas" {
+			measBefore = append(measBefore, v.Data()...)
+		}
+		if c == "trunk" {
+			trunkBefore = append(trunkBefore, v.Data()...)
+		}
+	})
+	w.InjectModel(visitOf(a), rng.New(3))
+	var measAfter, trunkAfter []float64
+	a.VisitParams(func(c string, _ int, _ string, v *tensor.Tensor) {
+		if c == "meas" {
+			measAfter = append(measAfter, v.Data()...)
+		}
+		if c == "trunk" {
+			trunkAfter = append(trunkAfter, v.Data()...)
+		}
+	})
+	if countChanged(measBefore, measAfter) == 0 {
+		t.Error("targeted component unchanged")
+	}
+	if countChanged(trunkBefore, trunkAfter) != 0 {
+		t.Error("untargeted component changed")
+	}
+}
+
+func TestWeightNoiseFraction(t *testing.T) {
+	a := testAgent(t)
+	w := NewWeightNoise()
+	w.Fraction = 0.1
+	before := snapshot(a)
+	w.InjectModel(visitOf(a), rng.New(4))
+	after := snapshot(a)
+	frac := float64(countChanged(before, after)) / float64(len(before))
+	if frac < 0.05 || frac > 0.2 {
+		t.Errorf("fractional noise hit %v of params, want ~0.1", frac)
+	}
+}
+
+func TestWeightBitFlipCount(t *testing.T) {
+	a := testAgent(t)
+	before := snapshot(a)
+	w := NewWeightBitFlip()
+	w.Flips = 25
+	w.InjectModel(visitOf(a), rng.New(5))
+	after := snapshot(a)
+	changed := countChanged(before, after)
+	// Each flip hits one weight; collisions can re-flip (restoring), so
+	// changed <= 25 and > 0 with overwhelming probability.
+	if changed == 0 || changed > 25 {
+		t.Errorf("bit flips changed %d weights, want (0, 25]", changed)
+	}
+}
+
+func TestWeightBitFlipMantissaOnlyIsSubtle(t *testing.T) {
+	a := testAgent(t)
+	w := NewWeightBitFlip()
+	w.Flips = 10
+	w.MantissaOnly = true
+	before := snapshot(a)
+	w.InjectModel(visitOf(a), rng.New(6))
+	after := snapshot(a)
+	for i := range after {
+		if math.IsInf(after[i], 0) || math.IsNaN(after[i]) {
+			t.Fatal("mantissa-only flip produced Inf/NaN")
+		}
+		// Sign cannot change from a mantissa flip.
+		if before[i] != 0 && math.Signbit(before[i]) != math.Signbit(after[i]) {
+			t.Fatal("mantissa-only flip changed sign")
+		}
+	}
+}
+
+func TestNeuronStuckZeroesColumns(t *testing.T) {
+	a := testAgent(t)
+	n := NewNeuronStuck()
+	n.Count = 4
+	n.InjectModel(visitOf(a), rng.New(7))
+
+	// Find at least one fully zeroed column among 2-d weights.
+	zeroCols := 0
+	a.VisitParams(func(_ string, _ int, name string, v *tensor.Tensor) {
+		shape := v.Shape()
+		if len(shape) != 2 || (name != "weight" && name != "filter") {
+			return
+		}
+		rows, cols := shape[0], shape[1]
+		for c := 0; c < cols; c++ {
+			allZero := true
+			for r := 0; r < rows; r++ {
+				if v.At(r, c) != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				zeroCols++
+			}
+		}
+	})
+	if zeroCols == 0 {
+		t.Error("no dead neuron columns found")
+	}
+}
+
+func TestInjectionDeterministic(t *testing.T) {
+	run := func() []float64 {
+		a := testAgent(t)
+		NewWeightNoise().InjectModel(visitOf(a), rng.New(42))
+		return snapshot(a)
+	}
+	a, b := run(), run()
+	if countChanged(a, b) != 0 {
+		t.Error("ML injection not deterministic")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	for _, name := range []string{WeightNoiseName, WeightBitFlipName, NeuronStuckName} {
+		s, err := fault.Lookup(name)
+		if err != nil {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if s.Class != fault.ClassML {
+			t.Errorf("%s class = %v", name, s.Class)
+		}
+		if _, ok := s.New().(fault.ModelInjector); !ok {
+			t.Errorf("%s not a ModelInjector", name)
+		}
+	}
+}
+
+func TestEmptyVisitIsSafe(t *testing.T) {
+	empty := func(fn func(string, int, string, fault.ParamTensor)) {}
+	NewWeightNoise().InjectModel(empty, rng.New(1))
+	NewWeightBitFlip().InjectModel(empty, rng.New(1))
+	NewNeuronStuck().InjectModel(empty, rng.New(1))
+}

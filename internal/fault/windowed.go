@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+)
+
+// The Windowed* wrappers gate any injector behind an activation window
+// without the injector's cooperation — the campaign-level form of the
+// paper's fault localizer choosing *when* a fault strikes. They make
+// mid-episode injection (and therefore meaningful Time-To-Violation
+// measurement) available for every fault model, including user-defined
+// ones that don't expose a Window field.
+
+// Multi bundles up to three injector roles under one name, delegating each
+// role to its slot (nil slots are no-ops). The campaign layer uses it to
+// re-assemble a windowed injector that keeps every role of the original.
+type Multi struct {
+	InjectorName string
+	Input        InputInjector
+	Output       OutputInjector
+	Timing       TimingInjector
+}
+
+var (
+	_ InputInjector  = (*Multi)(nil)
+	_ OutputInjector = (*Multi)(nil)
+	_ TimingInjector = (*Multi)(nil)
+)
+
+// Name implements the injector interfaces.
+func (m *Multi) Name() string { return m.InjectorName }
+
+// InjectImage implements InputInjector.
+func (m *Multi) InjectImage(img *render.Image, frame int, r *rng.Stream) {
+	if m.Input != nil {
+		m.Input.InjectImage(img, frame, r)
+	}
+}
+
+// InjectMeasurements implements InputInjector.
+func (m *Multi) InjectMeasurements(speed, gpsX, gpsY float64, frame int, r *rng.Stream) (float64, float64, float64) {
+	if m.Input != nil {
+		return m.Input.InjectMeasurements(speed, gpsX, gpsY, frame, r)
+	}
+	return speed, gpsX, gpsY
+}
+
+// InjectControl implements OutputInjector.
+func (m *Multi) InjectControl(ctl physics.Control, frame int, r *rng.Stream) physics.Control {
+	if m.Output != nil {
+		return m.Output.InjectControl(ctl, frame, r)
+	}
+	return ctl
+}
+
+// Transform implements TimingInjector.
+func (m *Multi) Transform(ctl physics.Control, frame int, r *rng.Stream) physics.Control {
+	if m.Timing != nil {
+		return m.Timing.Transform(ctl, frame, r)
+	}
+	return ctl
+}
+
+// Reset implements TimingInjector.
+func (m *Multi) Reset() {
+	if m.Timing != nil {
+		m.Timing.Reset()
+	}
+}
+
+// Chain composes several input injectors into one: each stage sees the
+// previous stage's output, modeling simultaneous faults (e.g. a camera
+// occlusion together with LIDAR dropout — the combination that defeats
+// both the driving agent and its AEB safety monitor).
+type Chain struct {
+	ChainName string
+	Stages    []InputInjector
+}
+
+var (
+	_ InputInjector = (*Chain)(nil)
+	_ LidarInjector = (*Chain)(nil)
+)
+
+// NewChain composes input injectors under a campaign column name.
+func NewChain(name string, stages ...InputInjector) *Chain {
+	return &Chain{ChainName: name, Stages: stages}
+}
+
+// Name implements InputInjector.
+func (c *Chain) Name() string { return c.ChainName }
+
+// InjectImage implements InputInjector.
+func (c *Chain) InjectImage(img *render.Image, frame int, r *rng.Stream) {
+	for _, s := range c.Stages {
+		s.InjectImage(img, frame, r)
+	}
+}
+
+// InjectMeasurements implements InputInjector.
+func (c *Chain) InjectMeasurements(speed, gpsX, gpsY float64, frame int, r *rng.Stream) (float64, float64, float64) {
+	for _, s := range c.Stages {
+		speed, gpsX, gpsY = s.InjectMeasurements(speed, gpsX, gpsY, frame, r)
+	}
+	return speed, gpsX, gpsY
+}
+
+// InjectLidar implements LidarInjector, delegating to stages that corrupt
+// LIDAR.
+func (c *Chain) InjectLidar(ranges []float64, frame int, r *rng.Stream) {
+	for _, s := range c.Stages {
+		if li, ok := s.(LidarInjector); ok {
+			li.InjectLidar(ranges, frame, r)
+		}
+	}
+}
+
+// WindowedInput gates an InputInjector.
+type WindowedInput struct {
+	Inner  InputInjector
+	Window Window
+}
+
+var _ InputInjector = (*WindowedInput)(nil)
+
+// Name implements InputInjector.
+func (w *WindowedInput) Name() string { return w.Inner.Name() }
+
+// InjectImage implements InputInjector.
+func (w *WindowedInput) InjectImage(img *render.Image, frame int, r *rng.Stream) {
+	if !w.Window.Active(frame) {
+		return
+	}
+	w.Inner.InjectImage(img, frame, r)
+}
+
+// InjectMeasurements implements InputInjector.
+func (w *WindowedInput) InjectMeasurements(speed, gpsX, gpsY float64, frame int, r *rng.Stream) (float64, float64, float64) {
+	if !w.Window.Active(frame) {
+		return speed, gpsX, gpsY
+	}
+	return w.Inner.InjectMeasurements(speed, gpsX, gpsY, frame, r)
+}
+
+// WindowedOutput gates an OutputInjector.
+type WindowedOutput struct {
+	Inner  OutputInjector
+	Window Window
+}
+
+var _ OutputInjector = (*WindowedOutput)(nil)
+
+// Name implements OutputInjector.
+func (w *WindowedOutput) Name() string { return w.Inner.Name() }
+
+// InjectControl implements OutputInjector.
+func (w *WindowedOutput) InjectControl(ctl physics.Control, frame int, r *rng.Stream) physics.Control {
+	if !w.Window.Active(frame) {
+		return ctl
+	}
+	return w.Inner.InjectControl(ctl, frame, r)
+}
+
+// WindowedTiming gates a TimingInjector. Outside the window the control
+// stream passes through untouched; the inner injector still observes every
+// frame so its queues stay causally consistent when the window opens.
+type WindowedTiming struct {
+	Inner  TimingInjector
+	Window Window
+}
+
+var _ TimingInjector = (*WindowedTiming)(nil)
+
+// Name implements TimingInjector.
+func (w *WindowedTiming) Name() string { return w.Inner.Name() }
+
+// Reset implements TimingInjector.
+func (w *WindowedTiming) Reset() { w.Inner.Reset() }
+
+// Transform implements TimingInjector.
+func (w *WindowedTiming) Transform(ctl physics.Control, frame int, r *rng.Stream) physics.Control {
+	out := w.Inner.Transform(ctl, frame, r)
+	if !w.Window.Active(frame) {
+		return ctl
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+)
+
+// blackout is a test InputInjector that zeroes the image and measurements.
+type blackout struct{}
+
+func (blackout) Name() string { return "blackout" }
+func (blackout) InjectImage(img *render.Image, _ int, _ *rng.Stream) {
+	for i := range img.Pix {
+		img.Pix[i] = 0
+	}
+}
+func (blackout) InjectMeasurements(_, _, _ float64, _ int, _ *rng.Stream) (float64, float64, float64) {
+	return 0, 0, 0
+}
+
+// slam is a test OutputInjector forcing full brake.
+type slam struct{}
+
+func (slam) Name() string { return "slam" }
+func (slam) InjectControl(ctl physics.Control, _ int, _ *rng.Stream) physics.Control {
+	ctl.Brake = 1
+	return ctl
+}
+
+// hold is a test TimingInjector that always replays the first control.
+type hold struct {
+	first    physics.Control
+	hasFirst bool
+}
+
+func (h *hold) Name() string { return "hold" }
+func (h *hold) Reset()       { h.hasFirst = false }
+func (h *hold) Transform(ctl physics.Control, _ int, _ *rng.Stream) physics.Control {
+	if !h.hasFirst {
+		h.first = ctl
+		h.hasFirst = true
+	}
+	return h.first
+}
+
+func TestWindowedInputGates(t *testing.T) {
+	w := &WindowedInput{Inner: blackout{}, Window: Window{StartFrame: 10, EndFrame: 20}}
+	r := rng.New(1)
+
+	img := render.NewImage(2, 2)
+	img.Pix[0] = 0.7
+	w.InjectImage(img, 5, r)
+	if img.Pix[0] != 0.7 {
+		t.Error("input fault fired before window")
+	}
+	w.InjectImage(img, 15, r)
+	if img.Pix[0] != 0 {
+		t.Error("input fault inactive inside window")
+	}
+
+	s, x, y := w.InjectMeasurements(5, 1, 2, 25, r)
+	if s != 5 || x != 1 || y != 2 {
+		t.Error("measurement fault fired after window")
+	}
+	s, _, _ = w.InjectMeasurements(5, 1, 2, 15, r)
+	if s != 0 {
+		t.Error("measurement fault inactive inside window")
+	}
+	if w.Name() != "blackout" {
+		t.Error("wrapper hides inner name")
+	}
+}
+
+func TestWindowedOutputGates(t *testing.T) {
+	w := &WindowedOutput{Inner: slam{}, Window: Window{StartFrame: 100}}
+	r := rng.New(2)
+	ctl := physics.Control{Throttle: 1}
+	if got := w.InjectControl(ctl, 50, r); got.Brake != 0 {
+		t.Error("output fault fired before window")
+	}
+	if got := w.InjectControl(ctl, 150, r); got.Brake != 1 {
+		t.Error("output fault inactive inside window")
+	}
+}
+
+func TestWindowedTimingGates(t *testing.T) {
+	inner := &hold{}
+	w := &WindowedTiming{Inner: inner, Window: Window{StartFrame: 2}}
+	r := rng.New(3)
+	w.Reset()
+
+	c0 := physics.Control{Steer: 0.1}
+	c1 := physics.Control{Steer: 0.2}
+	c2 := physics.Control{Steer: 0.3}
+
+	// Before the window: passthrough (inner still sees frames).
+	if got := w.Transform(c0, 0, r); got != c0 {
+		t.Error("timing fault altered stream before window")
+	}
+	if got := w.Transform(c1, 1, r); got != c1 {
+		t.Error("timing fault altered stream before window")
+	}
+	// Inside: inner's behaviour (replay of its first-seen control).
+	if got := w.Transform(c2, 2, r); got != c0 {
+		t.Errorf("timing fault inside window returned %+v, want inner's replay %+v", got, c0)
+	}
+	// Reset propagates.
+	w.Reset()
+	if inner.hasFirst {
+		t.Error("Reset did not reach the inner injector")
+	}
+}
+
+func TestWindowedImplementInterfaces(t *testing.T) {
+	var _ InputInjector = &WindowedInput{Inner: Noop{}}
+	var _ OutputInjector = &WindowedOutput{Inner: Noop{}}
+	var _ TimingInjector = &WindowedTiming{Inner: Noop{}}
+}

@@ -1,0 +1,142 @@
+package geom
+
+import "math"
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec
+}
+
+// NewAABB returns the AABB spanning the two corners in any order.
+func NewAABB(a, b Vec) AABB {
+	return AABB{
+		Min: Vec{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Vec{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Contains reports whether p lies inside (or on the boundary of) the box.
+func (b AABB) Contains(p Vec) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y
+}
+
+// Intersects reports whether the two boxes overlap.
+func (b AABB) Intersects(o AABB) bool {
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y
+}
+
+// Center returns the box center.
+func (b AABB) Center() Vec { return b.Min.Lerp(b.Max, 0.5) }
+
+// Size returns the box dimensions.
+func (b AABB) Size() Vec { return b.Max.Sub(b.Min) }
+
+// Expand returns the box grown by m meters on every side.
+func (b AABB) Expand(m float64) AABB {
+	return AABB{Min: b.Min.Sub(Vec{m, m}), Max: b.Max.Add(Vec{m, m})}
+}
+
+// Union returns the smallest AABB containing both boxes.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{
+		Min: Vec{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y)},
+		Max: Vec{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y)},
+	}
+}
+
+// OBB is an oriented bounding box: a rectangle of half-extents HalfLen
+// (along heading) and HalfWid (across), centered and rotated by Pose.
+// Vehicles and pedestrians are OBBs for collision purposes.
+type OBB struct {
+	Pose    Pose
+	HalfLen float64
+	HalfWid float64
+}
+
+// NewOBB constructs an OBB from a center pose and full dimensions.
+func NewOBB(pose Pose, length, width float64) OBB {
+	return OBB{Pose: pose, HalfLen: length / 2, HalfWid: width / 2}
+}
+
+// Corners returns the four corners in counterclockwise order.
+func (o OBB) Corners() [4]Vec {
+	f := o.Pose.Forward().Scale(o.HalfLen)
+	r := o.Pose.Forward().Perp().Scale(o.HalfWid)
+	c := o.Pose.Pos
+	return [4]Vec{
+		c.Add(f).Add(r),
+		c.Sub(f).Add(r),
+		c.Sub(f).Sub(r),
+		c.Add(f).Sub(r),
+	}
+}
+
+// AABB returns the axis-aligned bound of the OBB.
+func (o OBB) AABB() AABB {
+	cs := o.Corners()
+	b := NewAABB(cs[0], cs[1])
+	for _, c := range cs[2:] {
+		b = b.Union(NewAABB(c, c))
+	}
+	return b
+}
+
+// Contains reports whether p is inside the OBB.
+func (o OBB) Contains(p Vec) bool {
+	l := o.Pose.ToLocal(p)
+	return math.Abs(l.X) <= o.HalfLen && math.Abs(l.Y) <= o.HalfWid
+}
+
+// Intersects reports whether two OBBs overlap, by the separating axis
+// theorem over the four candidate axes.
+func (o OBB) Intersects(q OBB) bool {
+	axes := [4]Vec{
+		o.Pose.Forward(),
+		o.Pose.Forward().Perp(),
+		q.Pose.Forward(),
+		q.Pose.Forward().Perp(),
+	}
+	oc := o.Corners()
+	qc := q.Corners()
+	for _, axis := range axes {
+		oMin, oMax := projectCorners(oc, axis)
+		qMin, qMax := projectCorners(qc, axis)
+		if oMax < qMin || qMax < oMin {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsCircle reports whether the OBB overlaps a circle (pedestrians
+// are collision circles in some call sites).
+func (o OBB) IntersectsCircle(center Vec, radius float64) bool {
+	l := o.Pose.ToLocal(center)
+	dx := math.Max(math.Abs(l.X)-o.HalfLen, 0)
+	dy := math.Max(math.Abs(l.Y)-o.HalfWid, 0)
+	return dx*dx+dy*dy <= radius*radius
+}
+
+// Edges returns the four boundary segments in counterclockwise order.
+func (o OBB) Edges() [4]Segment {
+	c := o.Corners()
+	return [4]Segment{
+		{c[0], c[1]}, {c[1], c[2]}, {c[2], c[3]}, {c[3], c[0]},
+	}
+}
+
+func projectCorners(cs [4]Vec, axis Vec) (lo, hi float64) {
+	lo = cs[0].Dot(axis)
+	hi = lo
+	for _, c := range cs[1:] {
+		d := c.Dot(axis)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,170 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAABBContains(t *testing.T) {
+	b := NewAABB(V(2, 3), V(0, 1)) // corners given out of order
+	if b.Min != V(0, 1) || b.Max != V(2, 3) {
+		t.Fatalf("NewAABB normalization failed: %+v", b)
+	}
+	if !b.Contains(V(1, 2)) {
+		t.Error("interior point not contained")
+	}
+	if !b.Contains(V(0, 1)) {
+		t.Error("boundary point not contained")
+	}
+	if b.Contains(V(3, 2)) {
+		t.Error("exterior point contained")
+	}
+}
+
+func TestAABBIntersects(t *testing.T) {
+	a := NewAABB(V(0, 0), V(2, 2))
+	if !a.Intersects(NewAABB(V(1, 1), V(3, 3))) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if a.Intersects(NewAABB(V(3, 3), V(4, 4))) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+	if !a.Intersects(NewAABB(V(2, 0), V(3, 1))) {
+		t.Error("edge-touching boxes reported disjoint")
+	}
+}
+
+func TestAABBUnionExpandCenter(t *testing.T) {
+	a := NewAABB(V(0, 0), V(1, 1))
+	b := NewAABB(V(2, 2), V(3, 3))
+	u := a.Union(b)
+	if u.Min != V(0, 0) || u.Max != V(3, 3) {
+		t.Errorf("Union = %+v", u)
+	}
+	e := a.Expand(1)
+	if e.Min != V(-1, -1) || e.Max != V(2, 2) {
+		t.Errorf("Expand = %+v", e)
+	}
+	if c := u.Center(); c != V(1.5, 1.5) {
+		t.Errorf("Center = %v", c)
+	}
+	if s := a.Size(); s != V(1, 1) {
+		t.Errorf("Size = %v", s)
+	}
+}
+
+func TestOBBCorners(t *testing.T) {
+	o := NewOBB(P(0, 0, 0), 4, 2) // axis-aligned
+	want := map[Vec]bool{
+		V(2, 1): true, V(-2, 1): true, V(-2, -1): true, V(2, -1): true,
+	}
+	for _, c := range o.Corners() {
+		found := false
+		for w := range want {
+			if c.Eq(w, 1e-9) {
+				found = true
+				delete(want, w)
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected corner %v", c)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing corners: %v", want)
+	}
+}
+
+func TestOBBContains(t *testing.T) {
+	o := NewOBB(P(10, 10, math.Pi/4), 4, 2)
+	if !o.Contains(V(10, 10)) {
+		t.Error("center not contained")
+	}
+	// Point 1.9m along the heading is inside (half length 2).
+	p := V(10, 10).Add(FromAngle(math.Pi / 4).Scale(1.9))
+	if !o.Contains(p) {
+		t.Error("point along axis not contained")
+	}
+	// Point 2.1m along the heading is outside.
+	p = V(10, 10).Add(FromAngle(math.Pi / 4).Scale(2.1))
+	if o.Contains(p) {
+		t.Error("point beyond half-length contained")
+	}
+}
+
+func TestOBBIntersectsSAT(t *testing.T) {
+	a := NewOBB(P(0, 0, 0), 4, 2)
+	cases := []struct {
+		name string
+		b    OBB
+		want bool
+	}{
+		{"overlapping parallel", NewOBB(P(3, 0, 0), 4, 2), true},
+		{"disjoint parallel", NewOBB(P(5, 0, 0), 4, 2), false},
+		{"rotated overlapping", NewOBB(P(2.5, 0, math.Pi/4), 4, 2), true},
+		{"rotated disjoint corner gap", NewOBB(P(3.5, 2.4, math.Pi/4), 2, 1), false},
+		{"perpendicular crossing", NewOBB(P(0, 0, math.Pi/2), 4, 2), true},
+		{"far away", NewOBB(P(100, 100, 1), 4, 2), false},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("%s: Intersects = %v, want %v", c.name, got, c.want)
+		}
+		// Symmetry.
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("%s: reverse Intersects = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOBBIntersectsCircle(t *testing.T) {
+	o := NewOBB(P(0, 0, 0), 4, 2)
+	if !o.IntersectsCircle(V(0, 0), 0.1) {
+		t.Error("circle at center not intersecting")
+	}
+	if !o.IntersectsCircle(V(2.5, 0), 0.6) {
+		t.Error("circle touching front edge not intersecting")
+	}
+	if o.IntersectsCircle(V(2.5, 0), 0.4) {
+		t.Error("circle short of front edge intersecting")
+	}
+	// Corner case: circle near corner.
+	if !o.IntersectsCircle(V(2.3, 1.3), 0.5) {
+		t.Error("circle overlapping corner not intersecting")
+	}
+	if o.IntersectsCircle(V(2.5, 1.5), 0.5) {
+		t.Error("circle diagonal from corner intersecting")
+	}
+}
+
+func TestOBBAABBContainsCorners(t *testing.T) {
+	err := quick.Check(func(x, y, th, l, w float64) bool {
+		o := NewOBB(
+			P(math.Mod(clampFinite(x), 100), math.Mod(clampFinite(y), 100), math.Mod(clampFinite(th), 2*math.Pi)),
+			1+math.Abs(math.Mod(clampFinite(l), 10)),
+			1+math.Abs(math.Mod(clampFinite(w), 10)),
+		)
+		b := o.AABB()
+		for _, c := range o.Corners() {
+			if !b.Expand(1e-9).Contains(c) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOBBSelfIntersects(t *testing.T) {
+	err := quick.Check(func(x, y, th float64) bool {
+		o := NewOBB(P(math.Mod(clampFinite(x), 100), math.Mod(clampFinite(y), 100), math.Mod(clampFinite(th), 2*math.Pi)), 4, 2)
+		return o.Intersects(o)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

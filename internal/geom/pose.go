@@ -1,0 +1,48 @@
+package geom
+
+import "fmt"
+
+// Pose is a position plus heading: the configuration of a vehicle,
+// pedestrian, or sensor in the world plane.
+type Pose struct {
+	Pos     Vec
+	Heading float64 // radians, world frame, 0 = +X
+}
+
+// P is shorthand for constructing a Pose.
+func P(x, y, heading float64) Pose {
+	return Pose{Pos: Vec{X: x, Y: y}, Heading: heading}
+}
+
+// Forward returns the unit vector the pose faces along.
+func (p Pose) Forward() Vec { return FromAngle(p.Heading) }
+
+// Right returns the unit vector to the pose's right-hand side.
+func (p Pose) Right() Vec { return FromAngle(p.Heading).Perp().Scale(-1) }
+
+// ToLocal transforms a world-frame point into the pose's local frame,
+// where +X is forward and +Y is left.
+func (p Pose) ToLocal(world Vec) Vec {
+	return world.Sub(p.Pos).Rotate(-p.Heading)
+}
+
+// ToWorld transforms a local-frame point (X forward, Y left) into the
+// world frame.
+func (p Pose) ToWorld(local Vec) Vec {
+	return local.Rotate(p.Heading).Add(p.Pos)
+}
+
+// Advance returns the pose translated dist meters along its heading.
+func (p Pose) Advance(dist float64) Pose {
+	return Pose{Pos: p.Pos.Add(p.Forward().Scale(dist)), Heading: p.Heading}
+}
+
+// Turn returns the pose rotated in place by dTheta radians.
+func (p Pose) Turn(dTheta float64) Pose {
+	return Pose{Pos: p.Pos, Heading: WrapAngle(p.Heading + dTheta)}
+}
+
+// String implements fmt.Stringer.
+func (p Pose) String() string {
+	return fmt.Sprintf("pose{%s @ %.3frad}", p.Pos, p.Heading)
+}

@@ -1,0 +1,56 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoseLocalWorldRoundTrip(t *testing.T) {
+	err := quick.Check(func(px, py, heading, wx, wy float64) bool {
+		p := P(clampFinite(px), clampFinite(py), math.Mod(clampFinite(heading), 2*math.Pi))
+		w := V(clampFinite(wx), clampFinite(wy))
+		back := p.ToWorld(p.ToLocal(w))
+		return back.Eq(w, 1e-6*(1+w.Len()))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoseForwardLocal(t *testing.T) {
+	// A point one meter ahead of the pose must be local (1, 0).
+	p := P(3, -2, math.Pi/3)
+	ahead := p.Pos.Add(p.Forward())
+	l := p.ToLocal(ahead)
+	if !l.Eq(V(1, 0), 1e-9) {
+		t.Errorf("local of ahead point = %v, want (1,0)", l)
+	}
+}
+
+func TestPoseLeftIsPositiveY(t *testing.T) {
+	p := P(0, 0, 0) // facing +X
+	left := V(0, 1)
+	l := p.ToLocal(left)
+	if !l.Eq(V(0, 1), 1e-9) {
+		t.Errorf("local of left point = %v, want (0,1)", l)
+	}
+	r := p.Right()
+	if !r.Eq(V(0, -1), 1e-9) {
+		t.Errorf("Right() = %v, want (0,-1)", r)
+	}
+}
+
+func TestPoseAdvance(t *testing.T) {
+	p := P(0, 0, math.Pi/2).Advance(2)
+	if !p.Pos.Eq(V(0, 2), 1e-9) {
+		t.Errorf("Advance = %v, want (0,2)", p.Pos)
+	}
+}
+
+func TestPoseTurnWraps(t *testing.T) {
+	p := P(0, 0, math.Pi-0.1).Turn(0.2)
+	if math.Abs(p.Heading-(-math.Pi+0.1)) > 1e-9 {
+		t.Errorf("Turn heading = %v, want %v", p.Heading, -math.Pi+0.1)
+	}
+}

@@ -1,0 +1,101 @@
+package geom
+
+import "math"
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Vec
+}
+
+// Seg is shorthand for constructing a Segment.
+func Seg(a, b Vec) Segment { return Segment{A: a, B: b} }
+
+// Len returns the segment's length.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Dir returns the unit direction from A to B.
+func (s Segment) Dir() Vec { return s.B.Sub(s.A).Norm() }
+
+// At returns the point at parameter t in [0, 1] along the segment.
+func (s Segment) At(t float64) Vec { return s.A.Lerp(s.B, t) }
+
+// Project returns the parameter t of the closest point on the (clamped)
+// segment to p, and the closest point itself.
+func (s Segment) Project(p Vec) (t float64, closest Vec) {
+	d := s.B.Sub(s.A)
+	l2 := d.LenSq()
+	if l2 == 0 {
+		return 0, s.A
+	}
+	t = Clamp(p.Sub(s.A).Dot(d)/l2, 0, 1)
+	return t, s.At(t)
+}
+
+// Dist returns the distance from p to the segment.
+func (s Segment) Dist(p Vec) float64 {
+	_, c := s.Project(p)
+	return c.Dist(p)
+}
+
+// SideOf returns +1 if p is left of the directed segment, -1 if right,
+// 0 if (numerically) collinear.
+func (s Segment) SideOf(p Vec) int {
+	c := s.B.Sub(s.A).Cross(p.Sub(s.A))
+	switch {
+	case c > 1e-12:
+		return 1
+	case c < -1e-12:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Intersect reports whether segments s and o properly intersect, and if so
+// the intersection point. Collinear overlap is reported as no intersection;
+// the physics engine treats touching geometry with OBB tests instead.
+func (s Segment) Intersect(o Segment) (Vec, bool) {
+	r := s.B.Sub(s.A)
+	q := o.B.Sub(o.A)
+	denom := r.Cross(q)
+	if math.Abs(denom) < 1e-12 {
+		return Vec{}, false
+	}
+	d := o.A.Sub(s.A)
+	t := d.Cross(q) / denom
+	u := d.Cross(r) / denom
+	if t < 0 || t > 1 || u < 0 || u > 1 {
+		return Vec{}, false
+	}
+	return s.A.Add(r.Scale(t)), true
+}
+
+// Ray is a half-infinite line from Origin along unit Dir. LIDAR beams and
+// renderer visibility queries are rays.
+type Ray struct {
+	Origin Vec
+	Dir    Vec // unit
+}
+
+// NewRay constructs a ray, normalizing dir.
+func NewRay(origin, dir Vec) Ray { return Ray{Origin: origin, Dir: dir.Norm()} }
+
+// At returns the point t meters along the ray.
+func (r Ray) At(t float64) Vec { return r.Origin.Add(r.Dir.Scale(t)) }
+
+// IntersectSegment returns the ray parameter t >= 0 where the ray crosses
+// segment s, if it does.
+func (r Ray) IntersectSegment(s Segment) (t float64, ok bool) {
+	d := s.B.Sub(s.A)
+	denom := r.Dir.Cross(d)
+	if math.Abs(denom) < 1e-12 {
+		return 0, false
+	}
+	ao := s.A.Sub(r.Origin)
+	t = ao.Cross(d) / denom
+	u := ao.Cross(r.Dir) / denom
+	if t < 0 || u < 0 || u > 1 {
+		return 0, false
+	}
+	return t, true
+}

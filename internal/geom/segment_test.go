@@ -1,0 +1,110 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentProject(t *testing.T) {
+	s := Seg(V(0, 0), V(10, 0))
+	cases := []struct {
+		p        Vec
+		wantT    float64
+		wantDist float64
+	}{
+		{V(5, 3), 0.5, 3},
+		{V(-2, 0), 0, 2},
+		{V(12, 0), 1, 2},
+		{V(0, 0), 0, 0},
+	}
+	for _, c := range cases {
+		tt, closest := s.Project(c.p)
+		if math.Abs(tt-c.wantT) > 1e-9 {
+			t.Errorf("Project(%v) t = %v, want %v", c.p, tt, c.wantT)
+		}
+		if d := closest.Dist(c.p); math.Abs(d-c.wantDist) > 1e-9 {
+			t.Errorf("Project(%v) dist = %v, want %v", c.p, d, c.wantDist)
+		}
+	}
+}
+
+func TestSegmentProjectDegenerate(t *testing.T) {
+	s := Seg(V(1, 1), V(1, 1))
+	tt, closest := s.Project(V(5, 5))
+	if tt != 0 || closest != V(1, 1) {
+		t.Errorf("degenerate Project = %v, %v", tt, closest)
+	}
+}
+
+func TestSegmentSideOf(t *testing.T) {
+	s := Seg(V(0, 0), V(1, 0))
+	if got := s.SideOf(V(0.5, 1)); got != 1 {
+		t.Errorf("left point side = %d, want 1", got)
+	}
+	if got := s.SideOf(V(0.5, -1)); got != -1 {
+		t.Errorf("right point side = %d, want -1", got)
+	}
+	if got := s.SideOf(V(2, 0)); got != 0 {
+		t.Errorf("collinear point side = %d, want 0", got)
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	a := Seg(V(0, 0), V(2, 2))
+	b := Seg(V(0, 2), V(2, 0))
+	p, ok := a.Intersect(b)
+	if !ok || !p.Eq(V(1, 1), 1e-9) {
+		t.Errorf("Intersect = %v, %v; want (1,1), true", p, ok)
+	}
+
+	c := Seg(V(0, 3), V(2, 5))
+	if _, ok := a.Intersect(c); ok {
+		t.Error("parallel segments reported intersecting")
+	}
+
+	d := Seg(V(5, 0), V(5, 0.5)) // too short to reach
+	if _, ok := a.Intersect(d); ok {
+		t.Error("non-crossing segments reported intersecting")
+	}
+}
+
+func TestRayIntersectSegment(t *testing.T) {
+	r := NewRay(V(0, 0), V(1, 0))
+	s := Seg(V(5, -1), V(5, 1))
+	tt, ok := r.IntersectSegment(s)
+	if !ok || math.Abs(tt-5) > 1e-9 {
+		t.Errorf("ray hit = %v, %v; want 5, true", tt, ok)
+	}
+
+	// Behind the ray.
+	s2 := Seg(V(-5, -1), V(-5, 1))
+	if _, ok := r.IntersectSegment(s2); ok {
+		t.Error("segment behind ray reported hit")
+	}
+
+	// Parallel.
+	s3 := Seg(V(0, 1), V(10, 1))
+	if _, ok := r.IntersectSegment(s3); ok {
+		t.Error("parallel segment reported hit")
+	}
+}
+
+func TestRayHitPointOnSegment(t *testing.T) {
+	err := quick.Check(func(ox, oy, angle float64) bool {
+		origin := V(math.Mod(clampFinite(ox), 50), math.Mod(clampFinite(oy), 50))
+		th := math.Mod(clampFinite(angle), 2*math.Pi)
+		r := NewRay(origin, FromAngle(th))
+		s := Seg(V(100, -200), V(100, 200))
+		tt, ok := r.IntersectSegment(s)
+		if !ok {
+			return true // may miss; fine
+		}
+		p := r.At(tt)
+		// Hit point must lie on the segment's x = 100 line.
+		return math.Abs(p.X-100) < 1e-6
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

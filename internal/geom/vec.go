@@ -1,0 +1,126 @@
+// Package geom provides the 2D geometric primitives used by the AVFI world
+// simulator: vectors, poses, segments, rays, axis-aligned and oriented
+// bounding boxes, and the projection/intersection queries the physics and
+// rendering engines are built on.
+//
+// The simulator world is two-dimensional (a top-down urban plane); the
+// renderer lifts it into a pseudo-3D camera view. All angles are radians,
+// all distances meters, following the conventions of the CARLA simulator the
+// paper builds on.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a 2D vector (or point) in world coordinates, in meters.
+type Vec struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec.
+func V(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the 2D cross product (z-component of the 3D cross product).
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// LenSq returns the squared length of v; cheaper than Len when only
+// comparisons are needed.
+func (v Vec) LenSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
+
+// DistSq returns the squared distance between v and w.
+func (v Vec) DistSq(w Vec) float64 { return v.Sub(w).LenSq() }
+
+// Norm returns the unit vector in the direction of v. The zero vector
+// normalizes to the zero vector rather than NaN so downstream control code
+// never propagates NaNs from degenerate geometry.
+func (v Vec) Norm() Vec {
+	l := v.Len()
+	if l == 0 {
+		return Vec{}
+	}
+	return Vec{v.X / l, v.Y / l}
+}
+
+// Angle returns the heading of v in radians in (-pi, pi].
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Rotate returns v rotated counterclockwise by theta radians.
+func (v Vec) Rotate(theta float64) Vec {
+	s, c := math.Sincos(theta)
+	return Vec{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Perp returns v rotated 90 degrees counterclockwise.
+func (v Vec) Perp() Vec { return Vec{-v.Y, v.X} }
+
+// Lerp linearly interpolates from v to w by t in [0, 1].
+func (v Vec) Lerp(w Vec, t float64) Vec {
+	return Vec{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t}
+}
+
+// Eq reports whether v and w are within eps of each other componentwise.
+func (v Vec) Eq(w Vec, eps float64) bool {
+	return math.Abs(v.X-w.X) <= eps && math.Abs(v.Y-w.Y) <= eps
+}
+
+// IsFinite reports whether both components are finite (no NaN/Inf). Fault
+// injectors can legitimately produce non-finite values; physics clamps them
+// at the boundary and this predicate is the guard.
+func (v Vec) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
+
+// FromAngle returns the unit vector with heading theta.
+func FromAngle(theta float64) Vec {
+	s, c := math.Sincos(theta)
+	return Vec{c, s}
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// WrapAngle normalizes theta to (-pi, pi].
+func WrapAngle(theta float64) float64 {
+	for theta > math.Pi {
+		theta -= 2 * math.Pi
+	}
+	for theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// AngleDiff returns the signed smallest rotation from a to b, in (-pi, pi].
+func AngleDiff(a, b float64) float64 { return WrapAngle(b - a) }

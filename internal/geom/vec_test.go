@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(3, 4)
+	w := V(-1, 2)
+	if got := v.Add(w); got != V(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := v.Sub(w); got != V(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := v.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v, want (6,8)", got)
+	}
+	if got := v.Dot(w); got != 5 {
+		t.Errorf("Dot = %v, want 5", got)
+	}
+	if got := v.Cross(w); got != 10 {
+		t.Errorf("Cross = %v, want 10", got)
+	}
+	if got := v.Len(); got != 5 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := v.LenSq(); got != 25 {
+		t.Errorf("LenSq = %v, want 25", got)
+	}
+}
+
+func TestVecNormZero(t *testing.T) {
+	if got := (Vec{}).Norm(); got != (Vec{}) {
+		t.Errorf("zero vector Norm = %v, want zero", got)
+	}
+}
+
+func TestVecNormUnitLength(t *testing.T) {
+	err := quick.Check(func(x, y float64) bool {
+		v := V(clampFinite(x), clampFinite(y))
+		if v.Len() == 0 {
+			return true
+		}
+		return math.Abs(v.Norm().Len()-1) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecRotatePreservesLength(t *testing.T) {
+	err := quick.Check(func(x, y, theta float64) bool {
+		v := V(clampFinite(x), clampFinite(y))
+		th := math.Mod(clampFinite(theta), 2*math.Pi)
+		r := v.Rotate(th)
+		return math.Abs(r.Len()-v.Len()) < 1e-6*(1+v.Len())
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecRotateRoundTrip(t *testing.T) {
+	err := quick.Check(func(x, y, theta float64) bool {
+		v := V(clampFinite(x), clampFinite(y))
+		th := math.Mod(clampFinite(theta), 2*math.Pi)
+		back := v.Rotate(th).Rotate(-th)
+		return back.Eq(v, 1e-6*(1+v.Len()))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecAddCommutativeAssociative(t *testing.T) {
+	err := quick.Check(func(ax, ay, bx, by, cx, cy float64) bool {
+		a := V(clampFinite(ax), clampFinite(ay))
+		b := V(clampFinite(bx), clampFinite(by))
+		c := V(clampFinite(cx), clampFinite(cy))
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		l := a.Add(b).Add(c)
+		r := a.Add(b.Add(c))
+		return l.Eq(r, 1e-6)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecPerpOrthogonal(t *testing.T) {
+	err := quick.Check(func(x, y float64) bool {
+		v := V(clampFinite(x), clampFinite(y))
+		return v.Dot(v.Perp()) == 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromAngle(t *testing.T) {
+	cases := []struct {
+		theta float64
+		want  Vec
+	}{
+		{0, V(1, 0)},
+		{math.Pi / 2, V(0, 1)},
+		{math.Pi, V(-1, 0)},
+		{-math.Pi / 2, V(0, -1)},
+	}
+	for _, c := range cases {
+		got := FromAngle(c.theta)
+		if !got.Eq(c.want, 1e-12) {
+			t.Errorf("FromAngle(%v) = %v, want %v", c.theta, got, c.want)
+		}
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-3 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapAngleRange(t *testing.T) {
+	err := quick.Check(func(theta float64) bool {
+		th := math.Mod(clampFinite(theta), 100)
+		w := WrapAngle(th)
+		return w > -math.Pi-1e-9 && w <= math.Pi+1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, 0.3); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("AngleDiff = %v, want 0.2", got)
+	}
+	// Wrapping across the branch cut.
+	if got := AngleDiff(math.Pi-0.1, -math.Pi+0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("AngleDiff across cut = %v, want 0.2", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1)).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, 20)
+	if got := a.Lerp(b, 0.5); got != V(5, 10) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+// clampFinite maps arbitrary quick-generated floats into a sane finite range
+// so properties test real geometry, not float-overflow edge cases.
+func clampFinite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/stats"
+)
+
+// Comparison quantifies how an injector's campaign differs from a baseline,
+// with bootstrap confidence intervals — the statistical backing for claims
+// like "Gaussian noise lowers MSR by 40 points" in EXPERIMENTS.md.
+type Comparison struct {
+	Baseline, Treatment string
+	Episodes            int
+
+	// DeltaMSR is treatment MSR minus baseline MSR, percentage points,
+	// with a bootstrap confidence interval.
+	DeltaMSR               float64
+	DeltaMSRLo, DeltaMSRHi float64
+
+	// DeltaVPK is the difference of mean per-episode VPK.
+	DeltaVPK               float64
+	DeltaVPKLo, DeltaVPKHi float64
+
+	// Significant reports whether the VPK interval excludes zero.
+	Significant bool
+}
+
+// Compare bootstraps the difference in MSR and mean VPK between two record
+// sets (alpha 0.05, deterministic given the stream).
+func Compare(baseline, treatment []EpisodeRecord, iters int, r *rng.Stream) (Comparison, error) {
+	if len(baseline) == 0 || len(treatment) == 0 {
+		return Comparison{}, fmt.Errorf("metrics: compare needs records on both sides")
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	c := Comparison{
+		Baseline:  baseline[0].Injector,
+		Treatment: treatment[0].Injector,
+		Episodes:  len(treatment),
+	}
+
+	bMSR, bVPK := successesAndVPK(baseline)
+	tMSR, tVPK := successesAndVPK(treatment)
+	c.DeltaMSR = 100 * (stats.Mean(tMSR) - stats.Mean(bMSR))
+	c.DeltaVPK = stats.Mean(tVPK) - stats.Mean(bVPK)
+
+	msrDiffs := make([]float64, iters)
+	vpkDiffs := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		msrDiffs[i] = 100 * (resampleMean(tMSR, r) - resampleMean(bMSR, r))
+		vpkDiffs[i] = resampleMean(tVPK, r) - resampleMean(bVPK, r)
+	}
+	c.DeltaMSRLo = stats.Percentile(msrDiffs, 2.5)
+	c.DeltaMSRHi = stats.Percentile(msrDiffs, 97.5)
+	c.DeltaVPKLo = stats.Percentile(vpkDiffs, 2.5)
+	c.DeltaVPKHi = stats.Percentile(vpkDiffs, 97.5)
+	c.Significant = c.DeltaVPKLo > 0 || c.DeltaVPKHi < 0
+	return c, nil
+}
+
+func successesAndVPK(records []EpisodeRecord) (msr, vpk []float64) {
+	msr = make([]float64, len(records))
+	vpk = make([]float64, len(records))
+	for i, rec := range records {
+		if rec.Success {
+			msr[i] = 1
+		}
+		vpk[i] = rec.VPK()
+	}
+	return msr, vpk
+}
+
+func resampleMean(xs []float64, r *rng.Stream) float64 {
+	var sum float64
+	for range xs {
+		sum += xs[r.Intn(len(xs))]
+	}
+	return sum / float64(len(xs))
+}
+
+// String renders the comparison as one row.
+func (c Comparison) String() string {
+	sig := ""
+	if c.Significant {
+		sig = " *"
+	}
+	return fmt.Sprintf("%s vs %s: dMSR=%+.1fpp [%.1f, %.1f], dVPK=%+.2f [%.2f, %.2f]%s",
+		c.Treatment, c.Baseline, c.DeltaMSR, c.DeltaMSRLo, c.DeltaMSRHi,
+		c.DeltaVPK, c.DeltaVPKLo, c.DeltaVPKHi, sig)
+}

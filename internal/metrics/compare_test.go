@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/rng"
+)
+
+func mkRecords(injector string, n int, successRate float64, vpkMean float64, r *rng.Stream) []EpisodeRecord {
+	out := make([]EpisodeRecord, n)
+	for i := range out {
+		rec := EpisodeRecord{Injector: injector, DistanceKM: 1}
+		rec.Success = r.Bool(successRate)
+		nViol := int(vpkMean * (0.5 + r.Float64()))
+		for v := 0; v < nViol; v++ {
+			rec.Violations = append(rec.Violations, ViolationRecord{Kind: "lane", TimeSec: float64(v)})
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+func TestCompareDetectsLargeDifference(t *testing.T) {
+	r := rng.New(1)
+	base := mkRecords("noinject", 40, 0.95, 0, r)
+	bad := mkRecords("fault", 40, 0.2, 10, r)
+	c, err := Compare(base, bad, 500, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DeltaMSR > -40 {
+		t.Errorf("DeltaMSR = %v, want strongly negative", c.DeltaMSR)
+	}
+	if c.DeltaVPK < 3 {
+		t.Errorf("DeltaVPK = %v, want strongly positive", c.DeltaVPK)
+	}
+	if !c.Significant {
+		t.Error("large VPK difference not flagged significant")
+	}
+	if !(c.DeltaVPKLo <= c.DeltaVPK && c.DeltaVPK <= c.DeltaVPKHi) {
+		t.Errorf("point estimate outside its own CI: %v not in [%v, %v]", c.DeltaVPK, c.DeltaVPKLo, c.DeltaVPKHi)
+	}
+}
+
+func TestCompareNoDifference(t *testing.T) {
+	r := rng.New(3)
+	a := mkRecords("noinject", 60, 0.8, 1, r)
+	b := mkRecords("same", 60, 0.8, 1, r)
+	c, err := Compare(a, b, 500, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical distributions: CI should include zero (overwhelmingly).
+	if c.Significant {
+		t.Errorf("identical populations flagged significant: %+v", c)
+	}
+	if math.Abs(c.DeltaMSR) > 15 {
+		t.Errorf("DeltaMSR = %v for identical populations", c.DeltaMSR)
+	}
+}
+
+func TestCompareDeterministic(t *testing.T) {
+	r := rng.New(5)
+	a := mkRecords("a", 20, 0.9, 0, r)
+	b := mkRecords("b", 20, 0.5, 4, r)
+	c1, err := Compare(a, b, 300, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compare(a, b, 300, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("Compare not deterministic for fixed stream")
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare(nil, mkRecords("x", 5, 1, 0, rng.New(7)), 10, rng.New(8)); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := Compare(mkRecords("x", 5, 1, 0, rng.New(9)), nil, 10, rng.New(10)); err == nil {
+		t.Error("empty treatment accepted")
+	}
+}
+
+func TestComparisonString(t *testing.T) {
+	c := Comparison{Baseline: "noinject", Treatment: "gaussian", DeltaMSR: -40, Significant: true}
+	if s := c.String(); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,203 @@
+// Package metrics computes AVFI's resilience metrics from fault-injection
+// campaign records (paper §II, "Resilience Assessment"):
+//
+//   - Mission Success Rate (MSR): percentage of missions completed within
+//     the time budget. Higher is more resilient.
+//   - Traffic Violations Per KM (VPK): violations (lane, curb, collisions)
+//     per kilometer driven. Lower is more resilient.
+//   - Accidents Per KM (APK): collisions per kilometer driven.
+//   - Time To Traffic Violation (TTV): time from fault activation to its
+//     first manifestation as a violation. Higher means more time for
+//     detection and recovery.
+//
+// Figures 2-4 of the paper are distributions of these quantities across
+// missions; Report carries both the means and the five-number summaries
+// the paper's box plots show.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/stats"
+)
+
+// EpisodeRecord is one mission's outcome under one injector.
+type EpisodeRecord struct {
+	// Injector is the registered fault injector name ("noinject" for the
+	// baseline).
+	Injector string
+	// Mission and Repetition identify the scenario.
+	Mission    int
+	Repetition int
+	// Seed reproduces the episode bit-for-bit.
+	Seed uint64
+	// Success, DistanceKM, DurationSec summarize the drive.
+	Success     bool
+	DistanceKM  float64
+	DurationSec float64
+	// Violations are the debounced events.
+	Violations []ViolationRecord
+	// InjectionTimeSec is when the fault became active (0 = episode start).
+	InjectionTimeSec float64
+}
+
+// ViolationRecord is one debounced violation event.
+type ViolationRecord struct {
+	Kind     string
+	TimeSec  float64
+	Accident bool
+}
+
+// FromSimResult converts a sim result into a record.
+func FromSimResult(injector string, mission, repetition int, seed uint64, res sim.Result, injectionTime float64) EpisodeRecord {
+	rec := EpisodeRecord{
+		Injector:         injector,
+		Mission:          mission,
+		Repetition:       repetition,
+		Seed:             seed,
+		Success:          res.Success,
+		DistanceKM:       res.DistanceM / 1000,
+		DurationSec:      res.DurationS,
+		InjectionTimeSec: injectionTime,
+	}
+	for _, v := range res.Violations {
+		rec.Violations = append(rec.Violations, ViolationRecord{
+			Kind:     v.Kind.String(),
+			TimeSec:  v.TimeSec,
+			Accident: v.Kind.IsAccident(),
+		})
+	}
+	return rec
+}
+
+// minKM floors episode distance when normalizing per-km rates so a car
+// that crashes on the spot yields a large-but-finite VPK.
+const minKM = 0.01
+
+// VPK returns the episode's violations per kilometer.
+func (r EpisodeRecord) VPK() float64 {
+	return float64(len(r.Violations)) / math.Max(r.DistanceKM, minKM)
+}
+
+// APK returns the episode's accidents (collisions) per kilometer.
+func (r EpisodeRecord) APK() float64 {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Accident {
+			n++
+		}
+	}
+	return float64(n) / math.Max(r.DistanceKM, minKM)
+}
+
+// TTV returns the time from fault activation to the first subsequent
+// violation; ok is false if no violation followed the injection.
+func (r EpisodeRecord) TTV() (float64, bool) {
+	best := math.MaxFloat64
+	found := false
+	for _, v := range r.Violations {
+		if v.TimeSec >= r.InjectionTimeSec && v.TimeSec-r.InjectionTimeSec < best {
+			best = v.TimeSec - r.InjectionTimeSec
+			found = true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// Report aggregates one injector's records — one bar/box of the paper's
+// figures.
+type Report struct {
+	Injector string
+	Episodes int
+
+	// MSR is the mission success rate in percent.
+	MSR float64
+
+	// Per-episode VPK distribution and mean.
+	MeanVPK float64
+	VPK     stats.FiveNum
+
+	// Per-episode APK distribution and mean.
+	MeanAPK float64
+	APK     stats.FiveNum
+
+	// TTV distribution over episodes that had a post-injection violation.
+	MeanTTV     float64
+	TTV         stats.FiveNum
+	TTVEpisodes int
+
+	// Aggregates.
+	TotalViolations int
+	TotalKM         float64
+	// AggregateVPK is total violations over total distance (the paper's
+	// campaign-level "Total Violations / KM").
+	AggregateVPK float64
+}
+
+// BuildReport aggregates records (all from one injector).
+func BuildReport(injector string, records []EpisodeRecord) Report {
+	rep := Report{Injector: injector, Episodes: len(records)}
+	if len(records) == 0 {
+		return rep
+	}
+	var vpks, apks, ttvs []float64
+	successes := 0
+	for _, r := range records {
+		if r.Success {
+			successes++
+		}
+		vpks = append(vpks, r.VPK())
+		apks = append(apks, r.APK())
+		if ttv, ok := r.TTV(); ok {
+			ttvs = append(ttvs, ttv)
+		}
+		rep.TotalViolations += len(r.Violations)
+		rep.TotalKM += r.DistanceKM
+	}
+	rep.MSR = 100 * float64(successes) / float64(len(records))
+	rep.MeanVPK = stats.Mean(vpks)
+	rep.VPK = stats.Summary(vpks)
+	rep.MeanAPK = stats.Mean(apks)
+	rep.APK = stats.Summary(apks)
+	rep.MeanTTV = stats.Mean(ttvs)
+	rep.TTV = stats.Summary(ttvs)
+	rep.TTVEpisodes = len(ttvs)
+	rep.AggregateVPK = float64(rep.TotalViolations) / math.Max(rep.TotalKM, minKM)
+	return rep
+}
+
+// GroupByInjector splits records per injector, preserving nothing about
+// order; use Injectors for a deterministic iteration order.
+func GroupByInjector(records []EpisodeRecord) map[string][]EpisodeRecord {
+	out := make(map[string][]EpisodeRecord)
+	for _, r := range records {
+		out[r.Injector] = append(out[r.Injector], r)
+	}
+	return out
+}
+
+// Injectors returns the distinct injector names in sorted order.
+func Injectors(records []EpisodeRecord) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range records {
+		if !seen[r.Injector] {
+			seen[r.Injector] = true
+			names = append(names, r.Injector)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the report as one table row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-14s n=%-3d MSR=%5.1f%% VPK(med=%.2f iqr=%.2f mean=%.2f) APK(mean=%.2f) TTV(mean=%.2fs n=%d)",
+		r.Injector, r.Episodes, r.MSR, r.VPK.Median, r.VPK.IQR(), r.MeanVPK, r.MeanAPK, r.MeanTTV, r.TTVEpisodes)
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/sim"
+)
+
+func rec(success bool, km float64, violTimes []float64, accidents int) EpisodeRecord {
+	r := EpisodeRecord{
+		Injector:   "test",
+		Success:    success,
+		DistanceKM: km,
+	}
+	for i, tm := range violTimes {
+		r.Violations = append(r.Violations, ViolationRecord{
+			Kind:     "lane",
+			TimeSec:  tm,
+			Accident: i < accidents,
+		})
+	}
+	return r
+}
+
+func TestVPK(t *testing.T) {
+	r := rec(true, 2, []float64{1, 2, 3, 4}, 0)
+	if got := r.VPK(); got != 2 {
+		t.Errorf("VPK = %v, want 2", got)
+	}
+}
+
+func TestVPKZeroDistanceFloored(t *testing.T) {
+	r := rec(false, 0, []float64{1}, 0)
+	if got := r.VPK(); math.IsInf(got, 0) || got != 100 {
+		t.Errorf("VPK with zero distance = %v, want 100 (floored)", got)
+	}
+}
+
+func TestAPKCountsOnlyAccidents(t *testing.T) {
+	r := rec(true, 1, []float64{1, 2, 3}, 2)
+	if got := r.APK(); got != 2 {
+		t.Errorf("APK = %v, want 2", got)
+	}
+}
+
+func TestTTV(t *testing.T) {
+	r := rec(false, 1, []float64{5, 9}, 0)
+	r.InjectionTimeSec = 3
+	ttv, ok := r.TTV()
+	if !ok || ttv != 2 {
+		t.Errorf("TTV = %v, %v; want 2", ttv, ok)
+	}
+	// Violations before injection don't count.
+	r2 := rec(false, 1, []float64{1}, 0)
+	r2.InjectionTimeSec = 3
+	if _, ok := r2.TTV(); ok {
+		t.Error("pre-injection violation counted for TTV")
+	}
+	r3 := rec(true, 1, nil, 0)
+	if _, ok := r3.TTV(); ok {
+		t.Error("TTV from no violations")
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	records := []EpisodeRecord{
+		rec(true, 1, nil, 0),
+		rec(true, 1, []float64{2}, 0),
+		rec(false, 0.5, []float64{1, 2, 3}, 1),
+		rec(false, 1, []float64{4}, 1),
+	}
+	rep := BuildReport("test", records)
+	if rep.Episodes != 4 {
+		t.Errorf("Episodes = %d", rep.Episodes)
+	}
+	if rep.MSR != 50 {
+		t.Errorf("MSR = %v, want 50", rep.MSR)
+	}
+	if rep.TotalViolations != 5 {
+		t.Errorf("TotalViolations = %d", rep.TotalViolations)
+	}
+	if math.Abs(rep.TotalKM-3.5) > 1e-12 {
+		t.Errorf("TotalKM = %v", rep.TotalKM)
+	}
+	if math.Abs(rep.AggregateVPK-5/3.5) > 1e-12 {
+		t.Errorf("AggregateVPK = %v", rep.AggregateVPK)
+	}
+	// Per-episode VPKs: 0, 1, 6, 1 -> mean 2.
+	if math.Abs(rep.MeanVPK-2) > 1e-12 {
+		t.Errorf("MeanVPK = %v", rep.MeanVPK)
+	}
+	if rep.VPK.Min != 0 || rep.VPK.Max != 6 {
+		t.Errorf("VPK summary = %+v", rep.VPK)
+	}
+	if rep.TTVEpisodes != 3 {
+		t.Errorf("TTVEpisodes = %d", rep.TTVEpisodes)
+	}
+}
+
+func TestBuildReportEmpty(t *testing.T) {
+	rep := BuildReport("empty", nil)
+	if rep.Episodes != 0 || rep.MSR != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+}
+
+func TestGroupAndInjectors(t *testing.T) {
+	records := []EpisodeRecord{
+		{Injector: "b"}, {Injector: "a"}, {Injector: "b"},
+	}
+	groups := GroupByInjector(records)
+	if len(groups["b"]) != 2 || len(groups["a"]) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+	names := Injectors(records)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Injectors = %v", names)
+	}
+}
+
+func TestFromSimResult(t *testing.T) {
+	res := sim.Result{
+		Status:    sim.StatusSuccess,
+		Success:   true,
+		DistanceM: 1500,
+		DurationS: 60,
+		Violations: []sim.Violation{
+			{Kind: sim.ViolationLane, TimeSec: 10, Pos: geom.V(1, 2)},
+			{Kind: sim.ViolationCollisionPedestrian, TimeSec: 20},
+		},
+	}
+	rec := FromSimResult("gaussian", 3, 1, 42, res, 5)
+	if rec.Injector != "gaussian" || rec.Mission != 3 || rec.Seed != 42 {
+		t.Errorf("identity fields wrong: %+v", rec)
+	}
+	if rec.DistanceKM != 1.5 {
+		t.Errorf("DistanceKM = %v", rec.DistanceKM)
+	}
+	if len(rec.Violations) != 2 {
+		t.Fatalf("violations = %d", len(rec.Violations))
+	}
+	if rec.Violations[0].Accident || !rec.Violations[1].Accident {
+		t.Error("accident classification wrong")
+	}
+	ttv, ok := rec.TTV()
+	if !ok || ttv != 5 {
+		t.Errorf("TTV = %v, %v", ttv, ok)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := BuildReport("x", []EpisodeRecord{rec(true, 1, nil, 0)})
+	if s := rep.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,506 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/tensor"
+)
+
+// Compile-time interface checks.
+var (
+	_ Layer = (*Dense)(nil)
+	_ Layer = (*Conv2D)(nil)
+	_ Layer = (*MaxPool2D)(nil)
+	_ Layer = (*Flatten)(nil)
+	_ Layer = (*ReLU)(nil)
+	_ Layer = (*Tanh)(nil)
+	_ Layer = (*Sigmoid)(nil)
+	_ Layer = (*Dropout)(nil)
+)
+
+// Dense is a fully connected layer: y = xW + b with W shaped (in, out).
+type Dense struct {
+	in, out int
+	w, b    *Param
+	lastX   *tensor.Tensor
+}
+
+// NewDense constructs a Dense layer with zero weights; call InitHe or
+// InitXavier (or load weights) before use.
+func NewDense(in, out int) *Dense {
+	return &Dense{
+		in:  in,
+		out: out,
+		w:   newParam("weight", in, out),
+		b:   newParam("bias", out),
+	}
+}
+
+// InitHe applies He-normal initialization (for ReLU activations).
+func (d *Dense) InitHe(r *rng.Stream) *Dense {
+	std := math.Sqrt(2 / float64(d.in))
+	for i := range d.w.Value.Data() {
+		d.w.Value.Data()[i] = r.NormScaled(0, std)
+	}
+	return d
+}
+
+// InitXavier applies Xavier-uniform initialization (for tanh/sigmoid).
+func (d *Dense) InitXavier(r *rng.Stream) *Dense {
+	lim := math.Sqrt(6 / float64(d.in+d.out))
+	for i := range d.w.Value.Data() {
+		d.w.Value.Data()[i] = r.Range(-lim, lim)
+	}
+	return d
+}
+
+// Forward implements Layer. Input must be a vector of length in.
+func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Len() != d.in {
+		return nil, fmt.Errorf("dense: input %v, want %d values", x.Shape(), d.in)
+	}
+	row, err := x.Reshape(1, d.in)
+	if err != nil {
+		return nil, err
+	}
+	d.lastX = x.Clone()
+	y, err := tensor.MatMul(row, d.w.Value)
+	if err != nil {
+		return nil, err
+	}
+	if err := y.AddRowVec(d.b.Value); err != nil {
+		return nil, err
+	}
+	return y.Reshape(d.out)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if grad.Len() != d.out {
+		return nil, fmt.Errorf("dense: grad %v, want %d values", grad.Shape(), d.out)
+	}
+	if d.lastX == nil {
+		return nil, fmt.Errorf("dense: Backward before Forward")
+	}
+	g, err := grad.Reshape(1, d.out)
+	if err != nil {
+		return nil, err
+	}
+	xRow, err := d.lastX.Reshape(1, d.in)
+	if err != nil {
+		return nil, err
+	}
+	// dW = x^T g  (in,1)x(1,out)
+	dw, err := tensor.MatMulTransA(xRow, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.w.Grad.AddInPlace(dw); err != nil {
+		return nil, err
+	}
+	// db = g
+	dbFlat, err := g.Reshape(d.out)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.b.Grad.AddInPlace(dbFlat); err != nil {
+		return nil, err
+	}
+	// dx = g W^T  (1,out)x(out,in)
+	dx, err := tensor.MatMulTransB(g, d.w.Value)
+	if err != nil {
+		return nil, err
+	}
+	return dx.Reshape(d.in)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Spec implements Layer.
+func (d *Dense) Spec() LayerSpec {
+	return LayerSpec{
+		Kind:    "dense",
+		Ints:    map[string]int{"in": d.in, "out": d.out},
+		Tensors: map[string]*tensor.Tensor{"weight": d.w.Value.Clone(), "bias": d.b.Value.Clone()},
+	}
+}
+
+func (d *Dense) clone() Layer {
+	return &Dense{in: d.in, out: d.out, w: cloneParam(d.w), b: cloneParam(d.b)}
+}
+
+// Conv2D is a 2D convolution over (C, H, W) inputs, implemented as
+// im2col + matmul. Filters are stored as a (C*KH*KW, OutC) matrix; bias is
+// (OutC,). Output is (OutC, OH, OW).
+type Conv2D struct {
+	inC, inH, inW        int
+	outC, k, stride, pad int
+	outH, outW           int
+	w, b                 *Param
+	lastCols             *tensor.Tensor
+}
+
+// NewConv2D constructs a convolution for a fixed input geometry. Square
+// kernels only — the agent's perception stack doesn't need rectangular ones.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int) *Conv2D {
+	oh, ow := tensor.Conv2DShape(inH, inW, k, k, stride, pad)
+	return &Conv2D{
+		inC: inC, inH: inH, inW: inW,
+		outC: outC, k: k, stride: stride, pad: pad,
+		outH: oh, outW: ow,
+		w: newParam("filter", inC*k*k, outC),
+		b: newParam("bias", outC),
+	}
+}
+
+// InitHe applies He-normal initialization scaled by fan-in.
+func (c *Conv2D) InitHe(r *rng.Stream) *Conv2D {
+	fanIn := float64(c.inC * c.k * c.k)
+	std := math.Sqrt(2 / fanIn)
+	for i := range c.w.Value.Data() {
+		c.w.Value.Data()[i] = r.NormScaled(0, std)
+	}
+	return c
+}
+
+// OutShape returns the (C, H, W) of this layer's output.
+func (c *Conv2D) OutShape() (int, int, int) { return c.outC, c.outH, c.outW }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 3 || x.Dim(0) != c.inC || x.Dim(1) != c.inH || x.Dim(2) != c.inW {
+		return nil, fmt.Errorf("conv2d: input %v, want (%d,%d,%d)", x.Shape(), c.inC, c.inH, c.inW)
+	}
+	cols, err := tensor.Im2Col(x, c.k, c.k, c.stride, c.pad)
+	if err != nil {
+		return nil, err
+	}
+	c.lastCols = cols
+	out2d, err := tensor.MatMul(cols, c.w.Value) // (OH*OW, OutC)
+	if err != nil {
+		return nil, err
+	}
+	if err := out2d.AddRowVec(c.b.Value); err != nil {
+		return nil, err
+	}
+	// Rearrange (OH*OW, OutC) -> (OutC, OH, OW).
+	out := tensor.New(c.outC, c.outH, c.outW)
+	n := c.outH * c.outW
+	for p := 0; p < n; p++ {
+		for oc := 0; oc < c.outC; oc++ {
+			out.Data()[oc*n+p] = out2d.Data()[p*c.outC+oc]
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if grad.Dims() != 3 || grad.Dim(0) != c.outC || grad.Dim(1) != c.outH || grad.Dim(2) != c.outW {
+		return nil, fmt.Errorf("conv2d: grad %v, want (%d,%d,%d)", grad.Shape(), c.outC, c.outH, c.outW)
+	}
+	if c.lastCols == nil {
+		return nil, fmt.Errorf("conv2d: Backward before Forward")
+	}
+	// Rearrange (OutC, OH, OW) -> (OH*OW, OutC).
+	n := c.outH * c.outW
+	g2d := tensor.New(n, c.outC)
+	for p := 0; p < n; p++ {
+		for oc := 0; oc < c.outC; oc++ {
+			g2d.Data()[p*c.outC+oc] = grad.Data()[oc*n+p]
+		}
+	}
+	// dW = cols^T g2d
+	dw, err := tensor.MatMulTransA(c.lastCols, g2d)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.w.Grad.AddInPlace(dw); err != nil {
+		return nil, err
+	}
+	// db = column sums of g2d
+	db, err := tensor.SumRows(g2d)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.b.Grad.AddInPlace(db); err != nil {
+		return nil, err
+	}
+	// dCols = g2d W^T; dX = col2im(dCols)
+	dcols, err := tensor.MatMulTransB(g2d, c.w.Value)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Col2Im(dcols, c.inC, c.inH, c.inW, c.k, c.k, c.stride, c.pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Spec implements Layer.
+func (c *Conv2D) Spec() LayerSpec {
+	return LayerSpec{
+		Kind: "conv2d",
+		Ints: map[string]int{
+			"inC": c.inC, "inH": c.inH, "inW": c.inW,
+			"outC": c.outC, "k": c.k, "stride": c.stride, "pad": c.pad,
+		},
+		Tensors: map[string]*tensor.Tensor{"filter": c.w.Value.Clone(), "bias": c.b.Value.Clone()},
+	}
+}
+
+func (c *Conv2D) clone() Layer {
+	cp := *c
+	cp.w = cloneParam(c.w)
+	cp.b = cloneParam(c.b)
+	cp.lastCols = nil
+	return &cp
+}
+
+// MaxPool2D downsamples (C, H, W) by a square window.
+type MaxPool2D struct {
+	size          int
+	inC, inH, inW int
+	lastArgmax    []int
+}
+
+// NewMaxPool2D constructs a pooling layer with the given window size.
+func NewMaxPool2D(size int) *MaxPool2D { return &MaxPool2D{size: size} }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 3 {
+		return nil, fmt.Errorf("maxpool: input %v, want (C,H,W)", x.Shape())
+	}
+	m.inC, m.inH, m.inW = x.Dim(0), x.Dim(1), x.Dim(2)
+	out, argmax, err := tensor.MaxPool2D(x, m.size)
+	if err != nil {
+		return nil, err
+	}
+	m.lastArgmax = argmax
+	return out, nil
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if m.lastArgmax == nil {
+		return nil, fmt.Errorf("maxpool: Backward before Forward")
+	}
+	return tensor.MaxPool2DBackward(grad, m.lastArgmax, m.inC, m.inH, m.inW)
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (m *MaxPool2D) Spec() LayerSpec {
+	return LayerSpec{Kind: "maxpool2d", Ints: map[string]int{"size": m.size}}
+}
+
+func (m *MaxPool2D) clone() Layer { return &MaxPool2D{size: m.size} }
+
+// Flatten reshapes any input to a vector.
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	f.lastShape = x.Shape()
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.lastShape == nil {
+		return nil, fmt.Errorf("flatten: Backward before Forward")
+	}
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (f *Flatten) Spec() LayerSpec { return LayerSpec{Kind: "flatten"} }
+
+func (f *Flatten) clone() Layer { return &Flatten{} }
+
+// ReLU is max(0, x) elementwise.
+type ReLU struct {
+	lastX *tensor.Tensor
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	l.lastX = x.Clone()
+	return x.Clone().Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}), nil
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastX == nil {
+		return nil, fmt.Errorf("relu: Backward before Forward")
+	}
+	out := grad.Clone()
+	for i, v := range l.lastX.Data() {
+		if v <= 0 {
+			out.Data()[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *ReLU) Spec() LayerSpec { return LayerSpec{Kind: "relu"} }
+
+func (l *ReLU) clone() Layer { return &ReLU{} }
+
+// Tanh is tanh(x) elementwise.
+type Tanh struct {
+	lastY *tensor.Tensor
+}
+
+// NewTanh constructs a Tanh activation.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y := x.Clone().Apply(math.Tanh)
+	l.lastY = y.Clone()
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastY == nil {
+		return nil, fmt.Errorf("tanh: Backward before Forward")
+	}
+	out := grad.Clone()
+	for i, y := range l.lastY.Data() {
+		out.Data()[i] *= 1 - y*y
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (l *Tanh) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *Tanh) Spec() LayerSpec { return LayerSpec{Kind: "tanh"} }
+
+func (l *Tanh) clone() Layer { return &Tanh{} }
+
+// Sigmoid is 1/(1+e^-x) elementwise.
+type Sigmoid struct {
+	lastY *tensor.Tensor
+}
+
+// NewSigmoid constructs a Sigmoid activation.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (l *Sigmoid) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y := x.Clone().Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	l.lastY = y.Clone()
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *Sigmoid) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastY == nil {
+		return nil, fmt.Errorf("sigmoid: Backward before Forward")
+	}
+	out := grad.Clone()
+	for i, y := range l.lastY.Data() {
+		out.Data()[i] *= y * (1 - y)
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *Sigmoid) Spec() LayerSpec { return LayerSpec{Kind: "sigmoid"} }
+
+func (l *Sigmoid) clone() Layer { return &Sigmoid{} }
+
+// Dropout randomly zeroes a fraction p of activations during training and
+// scales the survivors by 1/(1-p) (inverted dropout); it is the identity at
+// inference.
+type Dropout struct {
+	p        float64
+	r        *rng.Stream
+	active   bool
+	lastMask []float64
+}
+
+// NewDropout constructs a Dropout layer with drop probability p, drawing
+// masks from r.
+func NewDropout(p float64, r *rng.Stream) *Dropout {
+	return &Dropout{p: p, r: r}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !d.active || d.p <= 0 {
+		d.lastMask = nil
+		return x, nil
+	}
+	keep := 1 - d.p
+	out := x.Clone()
+	d.lastMask = make([]float64, x.Len())
+	for i := range out.Data() {
+		if d.r.Float64() < d.p {
+			out.Data()[i] = 0
+			d.lastMask[i] = 0
+		} else {
+			out.Data()[i] /= keep
+			d.lastMask[i] = 1 / keep
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastMask == nil {
+		return grad, nil
+	}
+	if len(d.lastMask) != grad.Len() {
+		return nil, fmt.Errorf("dropout: grad %v vs mask %d", grad.Shape(), len(d.lastMask))
+	}
+	out := grad.Clone()
+	for i := range out.Data() {
+		out.Data()[i] *= d.lastMask[i]
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (d *Dropout) Spec() LayerSpec {
+	return LayerSpec{Kind: "dropout", Floats: map[string]float64{"p": d.p}}
+}
+
+func (d *Dropout) clone() Layer { return &Dropout{p: d.p, r: d.r} }

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/avfi/avfi/internal/tensor"
+)
+
+// Loss scores a prediction against a target and provides the gradient of
+// the loss with respect to the prediction.
+type Loss interface {
+	// Loss returns the scalar loss.
+	Loss(pred, target *tensor.Tensor) (float64, error)
+	// Grad returns dLoss/dPred.
+	Grad(pred, target *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Compile-time interface checks.
+var (
+	_ Loss = MSE{}
+	_ Loss = Huber{}
+)
+
+// MSE is mean squared error: mean((pred-target)^2).
+type MSE struct{}
+
+// Loss implements Loss.
+func (MSE) Loss(pred, target *tensor.Tensor) (float64, error) {
+	if !pred.SameShape(target) {
+		return 0, fmt.Errorf("mse: shape %v vs %v: %w", pred.Shape(), target.Shape(), tensor.ErrShape)
+	}
+	var sum float64
+	for i, p := range pred.Data() {
+		d := p - target.Data()[i]
+		sum += d * d
+	}
+	return sum / float64(pred.Len()), nil
+}
+
+// Grad implements Loss.
+func (MSE) Grad(pred, target *tensor.Tensor) (*tensor.Tensor, error) {
+	if !pred.SameShape(target) {
+		return nil, fmt.Errorf("mse: shape %v vs %v: %w", pred.Shape(), target.Shape(), tensor.ErrShape)
+	}
+	out := pred.Clone()
+	scale := 2 / float64(pred.Len())
+	for i := range out.Data() {
+		out.Data()[i] = scale * (pred.Data()[i] - target.Data()[i])
+	}
+	return out, nil
+}
+
+// Huber is the Huber loss with threshold Delta: quadratic near zero, linear
+// in the tails. Imitation-learning steering targets occasionally contain
+// sharp expert corrections; Huber keeps those from dominating the gradient.
+type Huber struct {
+	Delta float64
+}
+
+func (h Huber) delta() float64 {
+	if h.Delta <= 0 {
+		return 1
+	}
+	return h.Delta
+}
+
+// Loss implements Loss.
+func (h Huber) Loss(pred, target *tensor.Tensor) (float64, error) {
+	if !pred.SameShape(target) {
+		return 0, fmt.Errorf("huber: shape %v vs %v: %w", pred.Shape(), target.Shape(), tensor.ErrShape)
+	}
+	d := h.delta()
+	var sum float64
+	for i, p := range pred.Data() {
+		r := math.Abs(p - target.Data()[i])
+		if r <= d {
+			sum += r * r / 2
+		} else {
+			sum += d * (r - d/2)
+		}
+	}
+	return sum / float64(pred.Len()), nil
+}
+
+// Grad implements Loss.
+func (h Huber) Grad(pred, target *tensor.Tensor) (*tensor.Tensor, error) {
+	if !pred.SameShape(target) {
+		return nil, fmt.Errorf("huber: shape %v vs %v: %w", pred.Shape(), target.Shape(), tensor.ErrShape)
+	}
+	d := h.delta()
+	out := pred.Clone()
+	scale := 1 / float64(pred.Len())
+	for i := range out.Data() {
+		r := pred.Data()[i] - target.Data()[i]
+		switch {
+		case r > d:
+			out.Data()[i] = d * scale
+		case r < -d:
+			out.Data()[i] = -d * scale
+		default:
+			out.Data()[i] = r * scale
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+// Package nn is a from-scratch neural network library: the substrate for
+// the AVFI driving agent, standing in for the TensorFlow/PyTorch stack
+// behind the paper's imitation-learning CNN (Codevilla et al., ICRA 2018).
+//
+// It provides the layer types the paper's Figure 1 names — convolutional
+// perception layers, fully connected layers, and a recurrent cell — plus
+// losses, SGD/Adam optimizers, deterministic initialization, gob
+// serialization, and, critically for AVFI, *parameter visitation hooks*
+// that the machine-learning fault injector uses to corrupt weights exactly
+// as the paper describes ("adding noise into the parameters of the machine
+// learning model").
+//
+// Layers process one sample at a time and cache activations for backward;
+// a Network is therefore not safe for concurrent use. Campaign code clones
+// one network per episode goroutine.
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/avfi/avfi/internal/tensor"
+)
+
+// ErrBadSpec is returned when deserializing a malformed layer spec.
+var ErrBadSpec = errors.New("nn: bad layer spec")
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// zeroGrad clears the gradient accumulator.
+func (p *Param) zeroGrad() { p.Grad.Zero() }
+
+// Layer is one stage of a feed-forward network.
+type Layer interface {
+	// Forward consumes the input and returns the output, caching whatever
+	// backward needs.
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+	// Backward consumes dLoss/dOutput and returns dLoss/dInput,
+	// accumulating parameter gradients.
+	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// Spec returns a serializable description of the layer including its
+	// weights.
+	Spec() LayerSpec
+	// clone returns a deep copy sharing no state.
+	clone() Layer
+}
+
+// Network is an ordered sequence of layers.
+type Network struct {
+	layers []Layer
+	train  bool
+}
+
+// NewNetwork builds a network from layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{layers: layers}
+}
+
+// SetTraining toggles training mode (affects Dropout).
+func (n *Network) SetTraining(train bool) { n.train = train }
+
+// Training reports whether the network is in training mode.
+func (n *Network) Training() bool { return n.train }
+
+// Layers returns the layer slice (shared; used by fault localization).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs x through every layer.
+func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i, l := range n.layers {
+		if d, ok := l.(*Dropout); ok {
+			d.active = n.train
+		}
+		x, err = l.Forward(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%T): %w", i, l, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates grad back through every layer, accumulating parameter
+// gradients, and returns the gradient with respect to the network input.
+func (n *Network) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		grad, err = n.layers[i].Backward(grad)
+		if err != nil {
+			return nil, fmt.Errorf("nn: backward layer %d (%T): %w", i, n.layers[i], err)
+		}
+	}
+	return grad, nil
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.zeroGrad()
+	}
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// VisitParams calls fn for every parameter tensor with its layer index and
+// name. This is the hook the ML fault injector (internal/fault/mlfault)
+// localizes and corrupts weights through.
+func (n *Network) VisitParams(fn func(layer int, name string, value *tensor.Tensor)) {
+	for i, l := range n.layers {
+		for _, p := range l.Params() {
+			fn(i, p.Name, p.Value)
+		}
+	}
+}
+
+// Clone returns a deep copy of the network: independent weights and caches.
+// Campaign episodes run on clones so that per-episode weight faults never
+// leak across episodes.
+func (n *Network) Clone() *Network {
+	out := &Network{layers: make([]Layer, len(n.layers)), train: n.train}
+	for i, l := range n.layers {
+		out.layers[i] = l.clone()
+	}
+	return out
+}
+
+// IsFinite reports whether every parameter is finite. Weight bit-flip
+// faults can produce Inf/NaN weights; the agent's output guard consults
+// this for diagnostics.
+func (n *Network) IsFinite() bool {
+	for _, p := range n.Params() {
+		if !p.Value.IsFinite() {
+			return false
+		}
+	}
+	return true
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+	}
+}
+
+func cloneParam(p *Param) *Param {
+	return &Param{Name: p.Name, Value: p.Value.Clone(), Grad: p.Grad.Clone()}
+}

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/tensor"
+)
+
+var _ Layer = (*RNNCell)(nil)
+
+// RNNCell is an Elman recurrent cell: h' = tanh(Wx·x + Wh·h + b). The
+// paper's Figure 1 shows an RNN stage in the driving agent's network; the
+// agent uses this cell to smooth its control outputs over time.
+//
+// The cell carries its hidden state between Forward calls; ResetState
+// clears it at episode boundaries. Backward implements single-step
+// truncated BPTT (gradient does not flow into the previous hidden state),
+// which is sufficient for the imitation-learning objective used here.
+type RNNCell struct {
+	inSize, hiddenSize int
+	wx, wh, b          *Param
+	state              *tensor.Tensor
+	lastX, lastH       *tensor.Tensor
+	lastOut            *tensor.Tensor
+}
+
+// NewRNNCell constructs a cell with zeroed weights and state.
+func NewRNNCell(inSize, hiddenSize int) *RNNCell {
+	return &RNNCell{
+		inSize:     inSize,
+		hiddenSize: hiddenSize,
+		wx:         newParam("wx", inSize, hiddenSize),
+		wh:         newParam("wh", hiddenSize, hiddenSize),
+		b:          newParam("bias", hiddenSize),
+		state:      tensor.New(hiddenSize),
+	}
+}
+
+// InitXavier initializes both weight matrices Xavier-uniform.
+func (c *RNNCell) InitXavier(r *rng.Stream) *RNNCell {
+	limX := math.Sqrt(6 / float64(c.inSize+c.hiddenSize))
+	for i := range c.wx.Value.Data() {
+		c.wx.Value.Data()[i] = r.Range(-limX, limX)
+	}
+	limH := math.Sqrt(6 / float64(2*c.hiddenSize))
+	for i := range c.wh.Value.Data() {
+		c.wh.Value.Data()[i] = r.Range(-limH, limH)
+	}
+	return c
+}
+
+// ResetState zeroes the hidden state; call at episode boundaries.
+func (c *RNNCell) ResetState() { c.state.Zero() }
+
+// State returns the current hidden state (shared storage).
+func (c *RNNCell) State() *tensor.Tensor { return c.state }
+
+// Forward implements Layer.
+func (c *RNNCell) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Len() != c.inSize {
+		return nil, fmt.Errorf("rnn: input %v, want %d values", x.Shape(), c.inSize)
+	}
+	c.lastX = x.Clone()
+	c.lastH = c.state.Clone()
+
+	xRow, err := x.Reshape(1, c.inSize)
+	if err != nil {
+		return nil, err
+	}
+	hRow, err := c.state.Reshape(1, c.hiddenSize)
+	if err != nil {
+		return nil, err
+	}
+	xPart, err := tensor.MatMul(xRow, c.wx.Value)
+	if err != nil {
+		return nil, err
+	}
+	hPart, err := tensor.MatMul(hRow, c.wh.Value)
+	if err != nil {
+		return nil, err
+	}
+	if err := xPart.AddInPlace(hPart); err != nil {
+		return nil, err
+	}
+	if err := xPart.AddRowVec(c.b.Value); err != nil {
+		return nil, err
+	}
+	out, err := xPart.Reshape(c.hiddenSize)
+	if err != nil {
+		return nil, err
+	}
+	out.Apply(math.Tanh)
+	c.state = out.Clone()
+	c.lastOut = out.Clone()
+	return out, nil
+}
+
+// Backward implements Layer (truncated to one step).
+func (c *RNNCell) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastOut == nil {
+		return nil, fmt.Errorf("rnn: Backward before Forward")
+	}
+	if grad.Len() != c.hiddenSize {
+		return nil, fmt.Errorf("rnn: grad %v, want %d values", grad.Shape(), c.hiddenSize)
+	}
+	// dPre = grad * (1 - out^2)
+	dPre := grad.Clone()
+	for i, y := range c.lastOut.Data() {
+		dPre.Data()[i] *= 1 - y*y
+	}
+	dPreRow, err := dPre.Reshape(1, c.hiddenSize)
+	if err != nil {
+		return nil, err
+	}
+	xRow, err := c.lastX.Reshape(1, c.inSize)
+	if err != nil {
+		return nil, err
+	}
+	hRow, err := c.lastH.Reshape(1, c.hiddenSize)
+	if err != nil {
+		return nil, err
+	}
+	// dWx = x^T dPre ; dWh = h^T dPre ; db = dPre
+	dwx, err := tensor.MatMulTransA(xRow, dPreRow)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.wx.Grad.AddInPlace(dwx); err != nil {
+		return nil, err
+	}
+	dwh, err := tensor.MatMulTransA(hRow, dPreRow)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.wh.Grad.AddInPlace(dwh); err != nil {
+		return nil, err
+	}
+	dbFlat, err := dPreRow.Reshape(c.hiddenSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.b.Grad.AddInPlace(dbFlat); err != nil {
+		return nil, err
+	}
+	// dx = dPre Wx^T
+	dx, err := tensor.MatMulTransB(dPreRow, c.wx.Value)
+	if err != nil {
+		return nil, err
+	}
+	return dx.Reshape(c.inSize)
+}
+
+// Params implements Layer.
+func (c *RNNCell) Params() []*Param { return []*Param{c.wx, c.wh, c.b} }
+
+// Spec implements Layer.
+func (c *RNNCell) Spec() LayerSpec {
+	return LayerSpec{
+		Kind: "rnncell",
+		Ints: map[string]int{"in": c.inSize, "hidden": c.hiddenSize},
+		Tensors: map[string]*tensor.Tensor{
+			"wx": c.wx.Value.Clone(), "wh": c.wh.Value.Clone(), "bias": c.b.Value.Clone(),
+		},
+	}
+}
+
+func (c *RNNCell) clone() Layer {
+	return &RNNCell{
+		inSize:     c.inSize,
+		hiddenSize: c.hiddenSize,
+		wx:         cloneParam(c.wx),
+		wh:         cloneParam(c.wh),
+		b:          cloneParam(c.b),
+		state:      c.state.Clone(),
+	}
+}

@@ -1,0 +1,153 @@
+// Package physics implements the vehicle and pedestrian dynamics of the
+// AVFI world simulator: a kinematic bicycle model with throttle/brake/steer
+// actuation, pedestrian kinematics, and the oriented-bounding-box collision
+// queries the violation detectors use.
+//
+// It is the stand-in for Unreal Engine's physics in the paper's CARLA
+// stack. A kinematic bicycle is the standard fidelity level for urban-speed
+// AV control research and preserves what matters to AVFI: corrupted control
+// commands translate into lane departures, curb strikes, and collisions
+// with realistic (bounded steer/accel) vehicle responses.
+package physics
+
+import (
+	"math"
+
+	"github.com/avfi/avfi/internal/geom"
+)
+
+// Control is an actuation command for one simulation step. Fields are
+// normalized exactly like CARLA's VehicleControl message: Steer in [-1, 1]
+// (positive = left), Throttle and Brake in [0, 1].
+type Control struct {
+	Steer    float64
+	Throttle float64
+	Brake    float64
+}
+
+// Sanitize clamps the control into its legal ranges, mapping non-finite
+// values to zero. Fault injectors deliberately produce NaN/Inf/huge
+// commands; the actuator boundary (this function) is where the physical
+// plant's limits apply, mirroring a real drive-by-wire ECU's input guards.
+func (c Control) Sanitize() Control {
+	return Control{
+		Steer:    clampFinite(c.Steer, -1, 1),
+		Throttle: clampFinite(c.Throttle, 0, 1),
+		Brake:    clampFinite(c.Brake, 0, 1),
+	}
+}
+
+func clampFinite(x, lo, hi float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return geom.Clamp(x, lo, hi)
+}
+
+// VehicleParams are the physical constants of a vehicle.
+type VehicleParams struct {
+	// Wheelbase is the front-to-rear axle distance in meters.
+	Wheelbase float64
+	// MaxSteerAngle is the maximum road-wheel angle in radians.
+	MaxSteerAngle float64
+	// SteerRate limits how fast the road-wheel angle can change (rad/s).
+	SteerRate float64
+	// MaxAccel and MaxBrake are the peak longitudinal accelerations (m/s^2).
+	MaxAccel float64
+	MaxBrake float64
+	// Drag is a linear speed-proportional deceleration coefficient (1/s).
+	Drag float64
+	// MaxSpeed caps forward speed (m/s).
+	MaxSpeed float64
+	// Length and Width are the collision footprint in meters.
+	Length float64
+	Width  float64
+}
+
+// DefaultVehicleParams returns a mid-size car, CARLA-sedan-like.
+func DefaultVehicleParams() VehicleParams {
+	return VehicleParams{
+		Wheelbase:     2.7,
+		MaxSteerAngle: 35 * math.Pi / 180,
+		SteerRate:     4.0,
+		MaxAccel:      3.5,
+		MaxBrake:      8.0,
+		Drag:          0.08,
+		MaxSpeed:      20,
+		Length:        4.5,
+		Width:         2.0,
+	}
+}
+
+// VehicleState is the dynamic state of one vehicle.
+type VehicleState struct {
+	Pose  geom.Pose
+	Speed float64 // m/s along the heading; the model is forward-only
+	Steer float64 // current road-wheel angle in radians
+}
+
+// StepVehicle advances state by dt seconds under the given control using a
+// kinematic bicycle model. The control is sanitized first; the returned
+// state is always finite.
+func StepVehicle(s VehicleState, ctl Control, p VehicleParams, dt float64) VehicleState {
+	ctl = ctl.Sanitize()
+
+	// Steering with rate limit toward the commanded angle.
+	target := ctl.Steer * p.MaxSteerAngle
+	maxDelta := p.SteerRate * dt
+	s.Steer += geom.Clamp(target-s.Steer, -maxDelta, maxDelta)
+	s.Steer = geom.Clamp(s.Steer, -p.MaxSteerAngle, p.MaxSteerAngle)
+
+	// Longitudinal dynamics.
+	accel := ctl.Throttle*p.MaxAccel - ctl.Brake*p.MaxBrake - p.Drag*s.Speed
+	s.Speed = geom.Clamp(s.Speed+accel*dt, 0, p.MaxSpeed)
+
+	// Bicycle kinematics about the rear axle.
+	s.Pose.Heading = geom.WrapAngle(s.Pose.Heading + s.Speed/p.Wheelbase*math.Tan(s.Steer)*dt)
+	s.Pose.Pos = s.Pose.Pos.Add(geom.FromAngle(s.Pose.Heading).Scale(s.Speed * dt))
+	return s
+}
+
+// VehicleOBB returns the collision footprint of a vehicle state. The pose
+// is the rear-axle reference point, so the box center sits half a wheelbase
+// forward.
+func VehicleOBB(s VehicleState, p VehicleParams) geom.OBB {
+	center := s.Pose.Advance(p.Wheelbase / 2)
+	return geom.NewOBB(center, p.Length, p.Width)
+}
+
+// StoppingDistance returns the distance needed to brake from speed v to
+// rest at full brake; the autopilot's safety envelope uses it.
+func StoppingDistance(v float64, p VehicleParams) float64 {
+	if p.MaxBrake <= 0 {
+		return math.Inf(1)
+	}
+	return v * v / (2 * p.MaxBrake)
+}
+
+// PedestrianState is the dynamic state of one pedestrian, modeled as a
+// point with heading and speed, collision radius Radius.
+type PedestrianState struct {
+	Pos     geom.Vec
+	Heading float64
+	Speed   float64
+}
+
+// PedestrianRadius is the collision radius of a pedestrian in meters.
+const PedestrianRadius = 0.35
+
+// StepPedestrian advances a pedestrian by dt seconds.
+func StepPedestrian(s PedestrianState, dt float64) PedestrianState {
+	s.Pos = s.Pos.Add(geom.FromAngle(s.Heading).Scale(s.Speed * dt))
+	return s
+}
+
+// VehiclesCollide reports whether two vehicle states overlap.
+func VehiclesCollide(a VehicleState, ap VehicleParams, b VehicleState, bp VehicleParams) bool {
+	return VehicleOBB(a, ap).Intersects(VehicleOBB(b, bp))
+}
+
+// VehicleHitsPedestrian reports whether a vehicle overlaps a pedestrian.
+func VehicleHitsPedestrian(v VehicleState, p VehicleParams, ped PedestrianState) bool {
+	return VehicleOBB(v, p).IntersectsCircle(ped.Pos, PedestrianRadius)
+}

@@ -1,0 +1,228 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/avfi/avfi/internal/geom"
+)
+
+const dt = 1.0 / 15 // the paper's 15 FPS loop
+
+func TestControlSanitize(t *testing.T) {
+	cases := []struct {
+		in, want Control
+	}{
+		{Control{Steer: 2, Throttle: 5, Brake: -1}, Control{Steer: 1, Throttle: 1, Brake: 0}},
+		{Control{Steer: math.NaN(), Throttle: math.Inf(1), Brake: math.Inf(-1)}, Control{}},
+		{Control{Steer: -0.5, Throttle: 0.3, Brake: 0.1}, Control{Steer: -0.5, Throttle: 0.3, Brake: 0.1}},
+	}
+	for _, c := range cases {
+		if got := c.in.Sanitize(); got != c.want {
+			t.Errorf("Sanitize(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStraightLineAcceleration(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{Pose: geom.P(0, 0, 0)}
+	for i := 0; i < 15*5; i++ { // 5 seconds full throttle
+		s = StepVehicle(s, Control{Throttle: 1}, p, dt)
+	}
+	if s.Speed < 5 {
+		t.Errorf("speed after 5s full throttle = %v, want > 5", s.Speed)
+	}
+	if s.Speed > p.MaxSpeed {
+		t.Errorf("speed %v exceeds max %v", s.Speed, p.MaxSpeed)
+	}
+	if math.Abs(s.Pose.Pos.Y) > 1e-9 || math.Abs(s.Pose.Heading) > 1e-9 {
+		t.Error("straight-line drive drifted laterally")
+	}
+	if s.Pose.Pos.X <= 0 {
+		t.Error("vehicle did not move forward")
+	}
+}
+
+func TestBrakingStops(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{Pose: geom.P(0, 0, 0), Speed: 15}
+	for i := 0; i < 15*5; i++ {
+		s = StepVehicle(s, Control{Brake: 1}, p, dt)
+	}
+	if s.Speed != 0 {
+		t.Errorf("speed after 5s full brake = %v, want 0", s.Speed)
+	}
+}
+
+func TestNoReverse(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{Speed: 0.1}
+	for i := 0; i < 30; i++ {
+		s = StepVehicle(s, Control{Brake: 1}, p, dt)
+		if s.Speed < 0 {
+			t.Fatal("vehicle reversed under braking")
+		}
+	}
+}
+
+func TestSteeringTurnsLeft(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{Pose: geom.P(0, 0, 0), Speed: 10}
+	for i := 0; i < 15; i++ {
+		s = StepVehicle(s, Control{Steer: 1, Throttle: 0.5}, p, dt)
+	}
+	if s.Pose.Heading <= 0 {
+		t.Errorf("heading after left steer = %v, want > 0", s.Pose.Heading)
+	}
+	if s.Pose.Pos.Y <= 0 {
+		t.Errorf("position after left steer = %v, want Y > 0", s.Pose.Pos)
+	}
+}
+
+func TestSteerRateLimit(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{Speed: 5}
+	s = StepVehicle(s, Control{Steer: 1}, p, dt)
+	// One step cannot reach full lock: SteerRate*dt < MaxSteerAngle.
+	if s.Steer >= p.MaxSteerAngle {
+		t.Errorf("steer reached full lock in one step: %v", s.Steer)
+	}
+	if s.Steer <= 0 {
+		t.Error("steer did not move toward command")
+	}
+}
+
+func TestTurningCircle(t *testing.T) {
+	// At constant speed and full steer the vehicle should return near its
+	// start after enough time (closed circle).
+	p := DefaultVehicleParams()
+	s := VehicleState{Pose: geom.P(0, 0, 0), Speed: 5}
+	// Let steering settle, then record.
+	for i := 0; i < 30; i++ {
+		s = StepVehicle(s, Control{Steer: 1, Throttle: 0.12}, p, dt)
+	}
+	start := s.Pose.Pos
+	minDist := math.MaxFloat64
+	traveled := 0.0
+	prev := s.Pose.Pos
+	for i := 0; i < 15*60 && traveled < 200; i++ {
+		s = StepVehicle(s, Control{Steer: 1, Throttle: 0.12}, p, dt)
+		traveled += s.Pose.Pos.Dist(prev)
+		prev = s.Pose.Pos
+		if traveled > 10 { // away from start first
+			if d := s.Pose.Pos.Dist(start); d < minDist {
+				minDist = d
+			}
+		}
+	}
+	if minDist > 2 {
+		t.Errorf("full-lock trajectory never closed its circle (min dist %v)", minDist)
+	}
+}
+
+func TestFaultyControlNeverCorruptsState(t *testing.T) {
+	// Hardware fault injection can hand physics literally any float; state
+	// must remain finite.
+	p := DefaultVehicleParams()
+	err := quick.Check(func(steer, throttle, brake float64) bool {
+		s := VehicleState{Pose: geom.P(5, 5, 1), Speed: 8}
+		s = StepVehicle(s, Control{Steer: steer, Throttle: throttle, Brake: brake}, p, dt)
+		return s.Pose.Pos.IsFinite() &&
+			!math.IsNaN(s.Pose.Heading) && !math.IsInf(s.Pose.Heading, 0) &&
+			!math.IsNaN(s.Speed) && s.Speed >= 0 && s.Speed <= p.MaxSpeed
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedNeverExceedsMax(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{}
+	for i := 0; i < 15*60; i++ {
+		s = StepVehicle(s, Control{Throttle: 1}, p, dt)
+		if s.Speed > p.MaxSpeed {
+			t.Fatalf("speed %v exceeded max at step %d", s.Speed, i)
+		}
+	}
+	if s.Speed < p.MaxSpeed*0.95 {
+		t.Errorf("terminal speed %v well below max %v", s.Speed, p.MaxSpeed)
+	}
+}
+
+func TestVehicleOBBGeometry(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{Pose: geom.P(0, 0, 0)}
+	box := VehicleOBB(s, p)
+	// Center sits half a wheelbase ahead of the rear-axle pose.
+	if !box.Pose.Pos.Eq(geom.V(p.Wheelbase/2, 0), 1e-9) {
+		t.Errorf("OBB center = %v", box.Pose.Pos)
+	}
+	if box.HalfLen != p.Length/2 || box.HalfWid != p.Width/2 {
+		t.Errorf("OBB extents = %v x %v", box.HalfLen*2, box.HalfWid*2)
+	}
+}
+
+func TestVehiclesCollide(t *testing.T) {
+	p := DefaultVehicleParams()
+	a := VehicleState{Pose: geom.P(0, 0, 0)}
+	b := VehicleState{Pose: geom.P(3, 0.5, 0.2)}
+	if !VehiclesCollide(a, p, b, p) {
+		t.Error("overlapping vehicles not colliding")
+	}
+	c := VehicleState{Pose: geom.P(20, 0, 0)}
+	if VehiclesCollide(a, p, c, p) {
+		t.Error("distant vehicles colliding")
+	}
+}
+
+func TestVehicleHitsPedestrian(t *testing.T) {
+	p := DefaultVehicleParams()
+	v := VehicleState{Pose: geom.P(0, 0, 0)}
+	hit := PedestrianState{Pos: geom.V(2, 0)}
+	if !VehicleHitsPedestrian(v, p, hit) {
+		t.Error("pedestrian in front bumper not hit")
+	}
+	miss := PedestrianState{Pos: geom.V(2, 5)}
+	if VehicleHitsPedestrian(v, p, miss) {
+		t.Error("distant pedestrian hit")
+	}
+}
+
+func TestStepPedestrian(t *testing.T) {
+	s := PedestrianState{Pos: geom.V(0, 0), Heading: math.Pi / 2, Speed: 1.4}
+	for i := 0; i < 15; i++ {
+		s = StepPedestrian(s, dt)
+	}
+	if math.Abs(s.Pos.Y-1.4) > 1e-9 || math.Abs(s.Pos.X) > 1e-9 {
+		t.Errorf("pedestrian after 1s = %v, want (0, 1.4)", s.Pos)
+	}
+}
+
+func TestStoppingDistance(t *testing.T) {
+	p := DefaultVehicleParams()
+	d := StoppingDistance(10, p)
+	want := 100.0 / (2 * p.MaxBrake)
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("StoppingDistance = %v, want %v", d, want)
+	}
+	if StoppingDistance(0, p) != 0 {
+		t.Error("stopping distance at rest not zero")
+	}
+	noBrake := p
+	noBrake.MaxBrake = 0
+	if !math.IsInf(StoppingDistance(1, noBrake), 1) {
+		t.Error("zero-brake stopping distance not infinite")
+	}
+}
+
+func TestDragDeceleratesCoasting(t *testing.T) {
+	p := DefaultVehicleParams()
+	s := VehicleState{Speed: 10}
+	s = StepVehicle(s, Control{}, p, dt)
+	if s.Speed >= 10 {
+		t.Error("coasting vehicle did not decelerate under drag")
+	}
+}

@@ -1,0 +1,296 @@
+// Package proto defines the wire protocol between the AVFI world-simulator
+// server and the driving-agent client — the boundary CARLA's TCP protocol
+// occupies in the paper's architecture (Figure 1's sensor-data and action
+// paths).
+//
+// Keeping this an explicit message layer matters to AVFI: the paper's
+// timing faults act on exactly this link ("delays in flow of data from one
+// component of the AV system to another, loss of data, or out-of-order
+// delivery of the data packets"), and its hardware faults corrupt message
+// payloads in flight. Messages are encoded with a compact length-prefixed
+// binary codec (encoding/binary, no reflection) shared by the in-process
+// and TCP transports.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Version is the protocol version byte; bumped on incompatible change.
+const Version = 1
+
+// MsgKind discriminates wire messages.
+type MsgKind byte
+
+// Message kinds. Enums start at one so a zero byte is detectably invalid.
+const (
+	KindInvalid MsgKind = iota
+	// KindSensorFrame is server -> client: one frame of sensor data.
+	KindSensorFrame
+	// KindControl is client -> server: one actuation command.
+	KindControl
+	// KindEpisodeEnd is server -> client: mission over.
+	KindEpisodeEnd
+)
+
+// ErrCodec is wrapped by all encode/decode failures.
+var ErrCodec = errors.New("proto: codec error")
+
+// MaxPayload bounds a message body (1 MiB); a length prefix beyond this is
+// treated as stream corruption rather than an allocation request.
+const MaxPayload = 1 << 20
+
+// SensorFrame is one frame of sensor data: the camera image (8-bit
+// channels, as CARLA ships them), speedometer, GPS fix, the high-level
+// navigation command, and episode bookkeeping.
+type SensorFrame struct {
+	Frame   uint32
+	TimeSec float64
+	// Image geometry and packed channel-major pixels.
+	ImageW, ImageH uint16
+	Pixels         []byte
+	Speed          float64
+	GPSX, GPSY     float64
+	// Lidar carries the planar scanner's ranges (beam 0 = forward,
+	// counterclockwise); empty when the episode has no LIDAR.
+	Lidar []float64
+	// Command is the conditional-IL command (world.TurnKind numeric value).
+	Command uint8
+	// Done and Status close the episode (Status is sim.Status numeric).
+	Done   bool
+	Status uint8
+}
+
+// Control is one actuation command, normalized like CARLA's VehicleControl.
+type Control struct {
+	// Frame echoes the sensor frame this control answers.
+	Frame    uint32
+	Steer    float64
+	Throttle float64
+	Brake    float64
+}
+
+// EpisodeEnd reports final mission status.
+type EpisodeEnd struct {
+	Status    uint8
+	Frames    uint32
+	DistanceM float64
+}
+
+// EncodeSensorFrame serializes f with its kind tag.
+func EncodeSensorFrame(f *SensorFrame) []byte {
+	n := 1 + 1 + 4 + 8 + 2 + 2 + 4 + len(f.Pixels) + 8 + 8 + 8 + 2 + 8*len(f.Lidar) + 1 + 1 + 1
+	buf := make([]byte, 0, n)
+	buf = append(buf, Version, byte(KindSensorFrame))
+	buf = binary.BigEndian.AppendUint32(buf, f.Frame)
+	buf = appendFloat(buf, f.TimeSec)
+	buf = binary.BigEndian.AppendUint16(buf, f.ImageW)
+	buf = binary.BigEndian.AppendUint16(buf, f.ImageH)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Pixels)))
+	buf = append(buf, f.Pixels...)
+	buf = appendFloat(buf, f.Speed)
+	buf = appendFloat(buf, f.GPSX)
+	buf = appendFloat(buf, f.GPSY)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.Lidar)))
+	for _, v := range f.Lidar {
+		buf = appendFloat(buf, v)
+	}
+	buf = append(buf, f.Command, boolByte(f.Done), f.Status)
+	return buf
+}
+
+// EncodeControl serializes c with its kind tag.
+func EncodeControl(c *Control) []byte {
+	buf := make([]byte, 0, 1+1+4+3*8)
+	buf = append(buf, Version, byte(KindControl))
+	buf = binary.BigEndian.AppendUint32(buf, c.Frame)
+	buf = appendFloat(buf, c.Steer)
+	buf = appendFloat(buf, c.Throttle)
+	buf = appendFloat(buf, c.Brake)
+	return buf
+}
+
+// EncodeEpisodeEnd serializes e with its kind tag.
+func EncodeEpisodeEnd(e *EpisodeEnd) []byte {
+	buf := make([]byte, 0, 1+1+1+4+8)
+	buf = append(buf, Version, byte(KindEpisodeEnd))
+	buf = append(buf, e.Status)
+	buf = binary.BigEndian.AppendUint32(buf, e.Frames)
+	buf = appendFloat(buf, e.DistanceM)
+	return buf
+}
+
+// Kind peeks the message kind of an encoded buffer.
+func Kind(buf []byte) (MsgKind, error) {
+	if len(buf) < 2 {
+		return KindInvalid, fmt.Errorf("%w: message too short (%d bytes)", ErrCodec, len(buf))
+	}
+	if buf[0] != Version {
+		return KindInvalid, fmt.Errorf("%w: version %d, want %d", ErrCodec, buf[0], Version)
+	}
+	k := MsgKind(buf[1])
+	if k != KindSensorFrame && k != KindControl && k != KindEpisodeEnd {
+		return KindInvalid, fmt.Errorf("%w: unknown kind %d", ErrCodec, buf[1])
+	}
+	return k, nil
+}
+
+// DecodeSensorFrame parses an encoded sensor frame.
+func DecodeSensorFrame(buf []byte) (*SensorFrame, error) {
+	if k, err := Kind(buf); err != nil {
+		return nil, err
+	} else if k != KindSensorFrame {
+		return nil, fmt.Errorf("%w: kind %d is not a sensor frame", ErrCodec, k)
+	}
+	r := reader{buf: buf, off: 2}
+	var f SensorFrame
+	f.Frame = r.uint32()
+	f.TimeSec = r.float()
+	f.ImageW = r.uint16()
+	f.ImageH = r.uint16()
+	pixLen := int(r.uint32())
+	if pixLen > MaxPayload {
+		return nil, fmt.Errorf("%w: pixel payload %d exceeds limit", ErrCodec, pixLen)
+	}
+	f.Pixels = r.bytes(pixLen)
+	f.Speed = r.float()
+	f.GPSX = r.float()
+	f.GPSY = r.float()
+	if beams := int(r.uint16()); beams > 0 {
+		if beams > 4096 {
+			return nil, fmt.Errorf("%w: %d lidar beams exceeds limit", ErrCodec, beams)
+		}
+		f.Lidar = make([]float64, beams)
+		for i := range f.Lidar {
+			f.Lidar[i] = r.float()
+		}
+	}
+	f.Command = r.byte()
+	f.Done = r.byte() != 0
+	f.Status = r.byte()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: sensor frame: %v", ErrCodec, r.err)
+	}
+	if int(f.ImageW)*int(f.ImageH)*3 != len(f.Pixels) {
+		return nil, fmt.Errorf("%w: %dx%d image with %d pixel bytes", ErrCodec, f.ImageW, f.ImageH, len(f.Pixels))
+	}
+	return &f, nil
+}
+
+// DecodeControl parses an encoded control command.
+func DecodeControl(buf []byte) (*Control, error) {
+	if k, err := Kind(buf); err != nil {
+		return nil, err
+	} else if k != KindControl {
+		return nil, fmt.Errorf("%w: kind %d is not a control", ErrCodec, k)
+	}
+	r := reader{buf: buf, off: 2}
+	var c Control
+	c.Frame = r.uint32()
+	c.Steer = r.float()
+	c.Throttle = r.float()
+	c.Brake = r.float()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: control: %v", ErrCodec, r.err)
+	}
+	return &c, nil
+}
+
+// DecodeEpisodeEnd parses an encoded episode end.
+func DecodeEpisodeEnd(buf []byte) (*EpisodeEnd, error) {
+	if k, err := Kind(buf); err != nil {
+		return nil, err
+	} else if k != KindEpisodeEnd {
+		return nil, fmt.Errorf("%w: kind %d is not an episode end", ErrCodec, k)
+	}
+	r := reader{buf: buf, off: 2}
+	var e EpisodeEnd
+	e.Status = r.byte()
+	e.Frames = r.uint32()
+	e.DistanceM = r.float()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: episode end: %v", ErrCodec, r.err)
+	}
+	return &e, nil
+}
+
+// reader is a bounds-checked cursor over an encoded message.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("truncated at offset %d (need %d of %d)", r.off, n, len(r.buf))
+		return false
+	}
+	return true
+}
+
+func (r *reader) byte() byte {
+	if !r.need(1) {
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) uint16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) uint32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) float() float64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if n < 0 {
+		r.err = fmt.Errorf("negative length %d", n)
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	out := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return out
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,324 @@
+package render
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/world"
+)
+
+func testTown(t *testing.T) *world.Town {
+	t.Helper()
+	town, err := world.GenerateTown(world.DefaultTownConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return town
+}
+
+// straightRoadScene puts the camera on the right lane of a +X street.
+func straightRoadScene(town *world.Town) Scene {
+	return Scene{
+		CamPose: geom.P(45, -1.75, 0),
+		Weather: world.WeatherClear,
+	}
+}
+
+func singleRoadTown(t *testing.T) *world.Town {
+	t.Helper()
+	net := world.NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(200, 0))
+	net.AddEdge(a, b)
+	return &world.Town{Net: net}
+}
+
+func TestImageAccessors(t *testing.T) {
+	im := NewImage(4, 3)
+	im.Set(1, 2, 3, 0.5)
+	if im.At(1, 2, 3) != 0.5 {
+		t.Error("Set/At round trip failed")
+	}
+	im.SetRGB(0, 0, 0.1, 0.2, 0.3)
+	r, g, b := im.RGB(0, 0)
+	if r != 0.1 || g != 0.2 || b != 0.3 {
+		t.Errorf("RGB = %v,%v,%v", r, g, b)
+	}
+}
+
+func TestImageCloneIndependent(t *testing.T) {
+	im := NewImage(2, 2)
+	cl := im.Clone()
+	cl.Set(0, 0, 0, 1)
+	if im.At(0, 0, 0) != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestImageClamp(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Pix[0] = -3
+	im.Pix[1] = 7
+	im.Clamp()
+	if im.Pix[0] != 0 || im.Pix[1] != 1 {
+		t.Errorf("Clamp = %v", im.Pix[:2])
+	}
+}
+
+func TestImageToTensorShape(t *testing.T) {
+	im := NewImage(5, 4)
+	im.SetRGB(2, 3, 0.9, 0.5, 0.1)
+	tt := im.ToTensor()
+	shape := tt.Shape()
+	if shape[0] != 3 || shape[1] != 4 || shape[2] != 5 {
+		t.Fatalf("tensor shape = %v", shape)
+	}
+	if tt.At(0, 2, 3) != 0.9 || tt.At(2, 2, 3) != 0.1 {
+		t.Error("tensor values misplaced")
+	}
+}
+
+func TestImageBytesRoundTrip(t *testing.T) {
+	im := NewImage(3, 2)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i) / float64(len(im.Pix))
+	}
+	data := im.ToBytes()
+	back, err := ImageFromBytes(3, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if math.Abs(back.Pix[i]-im.Pix[i]) > 1.0/255+1e-9 {
+			t.Fatalf("byte round trip lost precision at %d: %v vs %v", i, back.Pix[i], im.Pix[i])
+		}
+	}
+	if _, err := ImageFromBytes(3, 2, data[:5]); err == nil {
+		t.Error("short byte slice did not error")
+	}
+}
+
+func TestRenderProducesSkyAndGround(t *testing.T) {
+	town := singleRoadTown(t)
+	r := New(DefaultConfig(), town)
+	im := r.Render(straightRoadScene(town))
+
+	// Top row should be sky (blue dominant).
+	rr, gg, bb := im.RGB(0, im.W/2)
+	if bb <= rr || bb <= gg {
+		t.Errorf("top pixel not sky-like: %v %v %v", rr, gg, bb)
+	}
+	// Bottom center should be asphalt (dark gray).
+	rr, gg, bb = im.RGB(im.H-1, im.W/2)
+	if rr > 0.4 || math.Abs(rr-gg) > 0.1 {
+		t.Errorf("bottom pixel not asphalt-like: %v %v %v", rr, gg, bb)
+	}
+}
+
+func TestRenderShowsCenterLine(t *testing.T) {
+	town := singleRoadTown(t)
+	r := New(DefaultConfig(), town)
+	im := r.Render(straightRoadScene(town))
+
+	// Scan the lower half for yellow-ish pixels (center line is to the
+	// vehicle's left, dashed).
+	found := false
+	for y := im.H / 2; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			rr, gg, bb := im.RGB(y, x)
+			if rr > 0.55 && gg > 0.45 && bb < 0.45 && rr > bb {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("center line not visible on straight road")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	town := testTown(t)
+	r := New(DefaultConfig(), town)
+	sc := Scene{CamPose: town.Spawns[0], Weather: world.WeatherClear, Frame: 3}
+	a := r.Render(sc)
+	b := r.Render(sc)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("render not deterministic")
+		}
+	}
+}
+
+func TestRenderVehicleObstacleVisible(t *testing.T) {
+	town := singleRoadTown(t)
+	r := New(DefaultConfig(), town)
+	sc := straightRoadScene(town)
+	without := r.Render(sc)
+	sc.Obstacles = []Obstacle{{
+		Box:    geom.NewOBB(geom.P(60, -1.75, 0), 4.5, 2),
+		Height: 1.5,
+		Kind:   ObstacleVehicle,
+	}}
+	with := r.Render(sc)
+
+	diff := 0
+	redGain := 0.0
+	for i := range with.Pix {
+		if with.Pix[i] != without.Pix[i] {
+			diff++
+		}
+	}
+	n := with.H * with.W
+	for i := 0; i < n; i++ {
+		redGain += with.Pix[i] - without.Pix[i]
+	}
+	if diff == 0 {
+		t.Fatal("vehicle obstacle invisible")
+	}
+	if redGain <= 0 {
+		t.Error("vehicle obstacle did not add red")
+	}
+}
+
+func TestRenderPedestrianVisible(t *testing.T) {
+	town := singleRoadTown(t)
+	r := New(DefaultConfig(), town)
+	sc := straightRoadScene(town)
+	sc.Obstacles = []Obstacle{{
+		Box:    geom.NewOBB(geom.P(55, -1.75, 0), 0.5, 0.5),
+		Height: 1.8,
+		Kind:   ObstaclePedestrian,
+	}}
+	im := r.Render(sc)
+	found := false
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if isPedestrianBlue(im.RGB(y, x)) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("pedestrian not visible as blue span")
+	}
+}
+
+func TestNearerObstacleOccludesFarther(t *testing.T) {
+	town := singleRoadTown(t)
+	r := New(DefaultConfig(), town)
+	sc := straightRoadScene(town)
+	// Pedestrian behind a vehicle on the same sight line.
+	sc.Obstacles = []Obstacle{
+		{Box: geom.NewOBB(geom.P(70, -1.75, 0), 0.5, 0.5), Height: 1.6, Kind: ObstaclePedestrian},
+		{Box: geom.NewOBB(geom.P(55, -1.75, 0), 4.5, 2.4), Height: 1.7, Kind: ObstacleVehicle},
+	}
+	im := r.Render(sc)
+	// No blue pedestrian pixels should survive: vehicle is nearer, wider
+	// and taller.
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if isPedestrianBlue(im.RGB(y, x)) {
+				t.Fatalf("occluded pedestrian visible at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+// isPedestrianBlue distinguishes the pedestrian palette (strong blue, weak
+// red AND green) from sky blue (which has high green).
+func isPedestrianBlue(r, g, b float64) bool {
+	return b > 0.45 && r < 0.3 && g < 0.3
+}
+
+func TestFogReducesContrast(t *testing.T) {
+	town := testTown(t)
+	r := New(DefaultConfig(), town)
+	sc := Scene{CamPose: town.Spawns[0], Weather: world.WeatherClear}
+	clear := r.Render(sc)
+	sc.Weather = world.WeatherFog
+	foggy := r.Render(sc)
+
+	if contrast(foggy) >= contrast(clear) {
+		t.Errorf("fog did not reduce contrast: %v vs %v", contrast(foggy), contrast(clear))
+	}
+}
+
+func TestRainChangesImage(t *testing.T) {
+	town := testTown(t)
+	r := New(DefaultConfig(), town)
+	sc := Scene{CamPose: town.Spawns[0], Weather: world.WeatherClear, Frame: 5}
+	clear := r.Render(sc)
+	sc.Weather = world.WeatherRain
+	rain := r.Render(sc)
+	diff := 0
+	for i := range rain.Pix {
+		if rain.Pix[i] != clear.Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("rain identical to clear")
+	}
+	// Streaks vary across frames.
+	sc.Frame = 6
+	rain2 := r.Render(sc)
+	diff = 0
+	for i := range rain.Pix {
+		if rain.Pix[i] != rain2.Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("rain streaks identical across frames")
+	}
+}
+
+func TestBuildingsAppear(t *testing.T) {
+	// Camera staring straight at a building wall.
+	net := world.NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(200, 0))
+	net.AddEdge(a, b)
+	town := &world.Town{
+		Net: net,
+		Buildings: []world.Building{
+			{Box: geom.NewAABB(geom.V(30, -10), geom.V(40, 10)), Height: 15, Shade: 0.6},
+		},
+	}
+	r := New(DefaultConfig(), town)
+	im := r.Render(Scene{CamPose: geom.P(0, -1.75, 0), Weather: world.WeatherClear})
+	// Center column should show a wall: mid-row pixel is the building color,
+	// not sky or grass.
+	rr, gg, bb := im.RGB(im.H/2-4, im.W/2)
+	if bb > rr { // sky is blue-dominant; wall is warm
+		t.Errorf("expected wall at center, got sky-like %v %v %v", rr, gg, bb)
+	}
+	if gg > rr { // grass is green-dominant
+		t.Errorf("expected wall at center, got grass-like %v %v %v", rr, gg, bb)
+	}
+}
+
+func TestRenderAllPixelsInRange(t *testing.T) {
+	town := testTown(t)
+	r := New(DefaultConfig(), town)
+	for _, w := range []world.Weather{world.WeatherClear, world.WeatherRain, world.WeatherFog} {
+		im := r.Render(Scene{CamPose: town.Spawns[2], Weather: w, Frame: 9})
+		for i, v := range im.Pix {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("weather %v: pixel %d out of range: %v", w, i, v)
+			}
+		}
+	}
+}
+
+func contrast(im *Image) float64 {
+	mean := im.Mean()
+	var ss float64
+	for _, v := range im.Pix {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(im.Pix)))
+}

@@ -1,0 +1,153 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// TopDownConfig parameterizes the spectator (bird's-eye) view.
+type TopDownConfig struct {
+	// Width and Height of the output image in pixels.
+	Width, Height int
+	// Bounds is the world rectangle to draw; the zero value uses the
+	// town's bounds.
+	Bounds geom.AABB
+}
+
+// DefaultTopDownConfig views the whole town at 256x256.
+func DefaultTopDownConfig() TopDownConfig {
+	return TopDownConfig{Width: 256, Height: 256}
+}
+
+// TopDownScene is everything the spectator draws beyond static geometry.
+type TopDownScene struct {
+	// Ego is the ego vehicle's box; drawn highlighted.
+	Ego geom.OBB
+	// Obstacles are the other dynamic boxes.
+	Obstacles []Obstacle
+	// Route, when non-nil, is drawn as a path overlay.
+	Route *world.Route
+}
+
+// spectator palette
+var (
+	tdGrass    = [3]float64{0.30, 0.42, 0.26}
+	tdRoad     = [3]float64{0.32, 0.32, 0.34}
+	tdMarking  = [3]float64{0.80, 0.72, 0.25}
+	tdBuilding = [3]float64{0.52, 0.46, 0.42}
+	tdRoute    = [3]float64{0.15, 0.65, 0.90}
+	tdEgo      = [3]float64{0.98, 0.92, 0.10}
+	tdVehicle  = [3]float64{0.80, 0.16, 0.12}
+	tdPed      = [3]float64{0.20, 0.22, 0.80}
+)
+
+// RenderTopDown draws the spectator view of a town.
+func RenderTopDown(cfg TopDownConfig, town *world.Town, scene TopDownScene) *Image {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		cfg = DefaultTopDownConfig()
+	}
+	bounds := cfg.Bounds
+	if bounds == (geom.AABB{}) {
+		bounds = town.Bounds
+	}
+	im := NewImage(cfg.Width, cfg.Height)
+	size := bounds.Size()
+	net := town.Net
+
+	for py := 0; py < cfg.Height; py++ {
+		for px := 0; px < cfg.Width; px++ {
+			// Pixel center -> world point (y axis flipped: world +Y is up).
+			wx := bounds.Min.X + (float64(px)+0.5)/float64(cfg.Width)*size.X
+			wy := bounds.Max.Y - (float64(py)+0.5)/float64(cfg.Height)*size.Y
+			p := geom.V(wx, wy)
+
+			c := tdGrass
+			if _, d, ok := net.NearestRoad(p); ok {
+				switch {
+				case d <= 0.3:
+					c = tdMarking
+				case net.OnRoad(p):
+					c = tdRoad
+				}
+			}
+			for _, b := range town.Buildings {
+				if b.Box.Contains(p) {
+					c = [3]float64{tdBuilding[0] * b.Shade * 1.4, tdBuilding[1] * b.Shade * 1.4, tdBuilding[2] * b.Shade * 1.4}
+					break
+				}
+			}
+			im.SetRGB(py, px, c[0], c[1], c[2])
+		}
+	}
+
+	toPx := func(p geom.Vec) (int, int) {
+		px := int((p.X - bounds.Min.X) / size.X * float64(cfg.Width))
+		py := int((bounds.Max.Y - p.Y) / size.Y * float64(cfg.Height))
+		return px, py
+	}
+	setSafe := func(px, py int, c [3]float64) {
+		if px < 0 || px >= cfg.Width || py < 0 || py >= cfg.Height {
+			return
+		}
+		im.SetRGB(py, px, c[0], c[1], c[2])
+	}
+
+	// Route overlay.
+	if scene.Route != nil {
+		for s := 0.0; s < scene.Route.Length(); s += size.X / float64(cfg.Width) {
+			px, py := toPx(scene.Route.PointAt(s))
+			setSafe(px, py, tdRoute)
+		}
+	}
+
+	// Dynamic boxes: stamp a small filled disc at each corner-bounded box.
+	stampBox := func(box geom.OBB, c [3]float64) {
+		// Sample the box area on a small grid.
+		for dl := -box.HalfLen; dl <= box.HalfLen; dl += 0.5 {
+			for dw := -box.HalfWid; dw <= box.HalfWid; dw += 0.5 {
+				p := box.Pose.ToWorld(geom.V(dl, dw))
+				px, py := toPx(p)
+				setSafe(px, py, c)
+			}
+		}
+	}
+	for _, ob := range scene.Obstacles {
+		c := tdVehicle
+		if ob.Kind == ObstaclePedestrian {
+			c = tdPed
+		}
+		stampBox(ob.Box, c)
+	}
+	if scene.Ego.HalfLen > 0 {
+		stampBox(scene.Ego, tdEgo)
+	}
+	return im
+}
+
+// WritePPM writes the image as a binary PPM (P6), viewable everywhere.
+func WritePPM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("render: ppm header: %w", err)
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.RGB(y, x)
+			if _, err := bw.Write([]byte{
+				byte(geom.Clamp(r, 0, 1)*255 + 0.5),
+				byte(geom.Clamp(g, 0, 1)*255 + 0.5),
+				byte(geom.Clamp(b, 0, 1)*255 + 0.5),
+			}); err != nil {
+				return fmt.Errorf("render: ppm body: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("render: ppm flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/world"
+)
+
+func TestTopDownShowsRoadsAndBuildings(t *testing.T) {
+	town, err := world.GenerateTown(world.DefaultTownConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := RenderTopDown(DefaultTopDownConfig(), town, TopDownScene{})
+	if im.W != 256 || im.H != 256 {
+		t.Fatalf("size %dx%d", im.W, im.H)
+	}
+	// The image must contain at least road-gray, grass-green and building
+	// pixels (distinct colors).
+	colors := map[[3]uint8]int{}
+	for y := 0; y < im.H; y += 2 {
+		for x := 0; x < im.W; x += 2 {
+			r, g, b := im.RGB(y, x)
+			colors[[3]uint8{uint8(r * 20), uint8(g * 20), uint8(b * 20)}]++
+		}
+	}
+	if len(colors) < 3 {
+		t.Errorf("top-down view has only %d distinct color bins", len(colors))
+	}
+}
+
+func TestTopDownEgoAndRouteVisible(t *testing.T) {
+	town, err := world.GenerateTown(world.DefaultTownConfig(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to, err := town.RandomMission(rng.New(3), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := town.Net.PlanRoute(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ego := geom.NewOBB(geom.Pose{Pos: route.Start().Pos, Heading: route.Start().Heading}, 4.5, 2)
+	im := RenderTopDown(DefaultTopDownConfig(), town, TopDownScene{Ego: ego, Route: route})
+
+	yellowish, cyanish := 0, 0
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.RGB(y, x)
+			if r > 0.9 && g > 0.85 && b < 0.3 {
+				yellowish++
+			}
+			if b > 0.8 && g > 0.5 && r < 0.3 {
+				cyanish++
+			}
+		}
+	}
+	if yellowish == 0 {
+		t.Error("ego marker not visible")
+	}
+	if cyanish < 10 {
+		t.Errorf("route overlay barely visible (%d px)", cyanish)
+	}
+}
+
+func TestTopDownZeroConfigDefaults(t *testing.T) {
+	town, err := world.GenerateTown(world.DefaultTownConfig(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := RenderTopDown(TopDownConfig{}, town, TopDownScene{})
+	if im.W != 256 || im.H != 256 {
+		t.Errorf("zero config produced %dx%d", im.W, im.H)
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	im := NewImage(3, 2)
+	im.SetRGB(0, 0, 1, 0, 0)
+	im.SetRGB(1, 2, 0, 0, 1)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P6\n3 2\n255\n") {
+		t.Fatalf("header = %q", out[:12])
+	}
+	body := buf.Bytes()[len("P6\n3 2\n255\n"):]
+	if len(body) != 3*2*3 {
+		t.Fatalf("body length %d", len(body))
+	}
+	if body[0] != 255 || body[1] != 0 {
+		t.Error("first pixel not red")
+	}
+	if body[len(body)-1] != 255 {
+		t.Error("last pixel not blue")
+	}
+}

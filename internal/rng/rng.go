@@ -1,0 +1,151 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for the AVFI simulator and fault injectors.
+//
+// Reproducibility is a first-class requirement of fault-injection campaigns:
+// every result in the paper's figures must be regenerable from a campaign
+// seed. A single shared math/rand source would make results depend on
+// goroutine scheduling, so each subsystem (world generation, NPC behaviour,
+// sensor noise, each fault injector, each episode) derives its own
+// independent stream from the campaign seed with Split. Streams are based on
+// xoshiro256**, seeded through SplitMix64 as its authors recommend.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/bits"
+)
+
+// Stream is a deterministic PRNG stream. It is NOT safe for concurrent use;
+// split one stream per goroutine instead.
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a stream seeded from seed via SplitMix64, so that nearby seeds
+// yield decorrelated states.
+func New(seed uint64) *Stream {
+	var st Stream
+	sm := seed
+	for i := range st.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		st.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 1
+	}
+	return &st
+}
+
+// Split derives an independent child stream identified by label. The same
+// (parent seed, label) pair always yields the same child, which is how
+// campaign components get decorrelated but reproducible randomness.
+func (r *Stream) Split(label string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return New(r.Uint64() ^ h.Sum64())
+}
+
+// SplitN derives an independent child stream identified by an index, e.g.
+// one stream per mission repetition.
+func (r *Stream) SplitN(n uint64) *Stream {
+	return New(r.Uint64() ^ (n+1)*0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *Stream) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Stream) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns a standard normal sample (Box–Muller).
+func (r *Stream) Norm() float64 {
+	// Guard against log(0).
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NormScaled returns a normal sample with the given mean and stddev.
+func (r *Stream) NormScaled(mean, stddev float64) float64 {
+	return mean + stddev*r.Norm()
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly random index weighted by weights. Weights must be
+// non-negative; an all-zero weight vector picks uniformly.
+func (r *Stream) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,244 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	mk := func() *Stream { return New(7).Split("sensor-noise") }
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split with same label not deterministic")
+		}
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("a")
+	parent2 := New(7)
+	b := parent2.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams with different labels correlated: %d/100 equal", same)
+	}
+}
+
+func TestSplitNDeterministic(t *testing.T) {
+	a := New(9).SplitN(3)
+	b := New(9).SplitN(3)
+	c := New(9).SplitN(4)
+	diff := false
+	for i := 0; i < 50; i++ {
+		av, cv := a.Uint64(), c.Uint64()
+		if av != b.Uint64() {
+			t.Fatal("SplitN not deterministic")
+		}
+		if av != cv {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("SplitN(3) and SplitN(4) produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d count %d far from uniform %d", i, c, n/10)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormScaled(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormScaled(5, 2)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.05 {
+		t.Errorf("scaled mean = %v, want ~5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(23)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Errorf("weighted pick ordering violated: %v", counts)
+	}
+	frac2 := float64(counts[2]) / 30000
+	if math.Abs(frac2-0.7) > 0.03 {
+		t.Errorf("weight-7 fraction = %v, want ~0.7", frac2)
+	}
+}
+
+func TestPickZeroWeights(t *testing.T) {
+	r := New(29)
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Pick([]float64{0, 0, 0})] = true
+	}
+	if len(seen) < 2 {
+		t.Error("zero-weight Pick not spreading over indices")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(31)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) hit fraction = %v", frac)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(37)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 45 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}

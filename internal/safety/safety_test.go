@@ -1,0 +1,112 @@
+package safety
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/physics"
+)
+
+func scan(n int, forward float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 60
+	}
+	out[0] = forward
+	return out
+}
+
+func TestAEBTriggersOnCloseObstacle(t *testing.T) {
+	a := NewAEB(physics.DefaultVehicleParams())
+	ctl := physics.Control{Throttle: 0.8}
+	got, iv := a.Filter(ctl, scan(36, 5), 10) // stopping distance at 10 m/s ≈ 6.25 m + margin
+	if !iv.Triggered {
+		t.Fatal("AEB did not trigger inside the stopping envelope")
+	}
+	if got.Brake != 1 || got.Throttle != 0 {
+		t.Errorf("AEB override = %+v", got)
+	}
+	if math.Abs(iv.MinForwardRange-5) > 1e-9 {
+		t.Errorf("MinForwardRange = %v", iv.MinForwardRange)
+	}
+}
+
+func TestAEBIgnoresFarObstacle(t *testing.T) {
+	a := NewAEB(physics.DefaultVehicleParams())
+	ctl := physics.Control{Throttle: 0.8}
+	got, iv := a.Filter(ctl, scan(36, 40), 8)
+	if iv.Triggered {
+		t.Error("AEB triggered on a distant return")
+	}
+	if got != ctl {
+		t.Error("AEB modified control without triggering")
+	}
+}
+
+func TestAEBIgnoresSideReturns(t *testing.T) {
+	a := NewAEB(physics.DefaultVehicleParams())
+	ranges := make([]float64, 36)
+	for i := range ranges {
+		ranges[i] = 60
+	}
+	ranges[9] = 1.0  // 90 degrees left
+	ranges[18] = 1.0 // directly behind
+	ranges[27] = 1.0 // 90 degrees right
+	_, iv := a.Filter(physics.Control{}, ranges, 10)
+	if iv.Triggered {
+		t.Error("AEB braked for returns outside the forward cone")
+	}
+}
+
+func TestAEBConeIncludesNearForwardBeams(t *testing.T) {
+	a := NewAEB(physics.DefaultVehicleParams())
+	ranges := make([]float64, 36)
+	for i := range ranges {
+		ranges[i] = 60
+	}
+	// Beam 2 of 36 = 20 degrees left: inside the 25-degree cone.
+	ranges[2] = 2.0
+	_, iv := a.Filter(physics.Control{}, ranges, 8)
+	if !iv.Triggered {
+		t.Error("AEB missed an obstacle 20 degrees off-axis")
+	}
+	// Beam 35 = 10 degrees right: also inside.
+	for i := range ranges {
+		ranges[i] = 60
+	}
+	ranges[35] = 2.0
+	_, iv = a.Filter(physics.Control{}, ranges, 8)
+	if !iv.Triggered {
+		t.Error("AEB missed an obstacle 10 degrees right")
+	}
+}
+
+func TestAEBSpeedScalesTriggerDistance(t *testing.T) {
+	a := NewAEB(physics.DefaultVehicleParams())
+	// 12 m ahead: safe at low speed, unsafe at high speed.
+	_, slow := a.Filter(physics.Control{}, scan(36, 12), 3)
+	if slow.Triggered {
+		t.Error("AEB triggered at crawl speed with 12 m clearance")
+	}
+	_, fast := a.Filter(physics.Control{}, scan(36, 12), 15)
+	if !fast.Triggered {
+		t.Error("AEB did not trigger at speed with 12 m clearance")
+	}
+}
+
+func TestAEBMinTriggerAtCrawl(t *testing.T) {
+	a := NewAEB(physics.DefaultVehicleParams())
+	_, iv := a.Filter(physics.Control{Throttle: 0.5}, scan(36, 2), 0.5)
+	if !iv.Triggered {
+		t.Error("AEB ignored an obstacle 2 m ahead at crawl speed")
+	}
+}
+
+func TestAEBFailsSilentWithoutLidar(t *testing.T) {
+	a := NewAEB(physics.DefaultVehicleParams())
+	ctl := physics.Control{Throttle: 1}
+	got, iv := a.Filter(ctl, nil, 10)
+	if iv.Triggered || got != ctl {
+		t.Error("AEB acted without sensor data")
+	}
+}

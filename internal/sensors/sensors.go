@@ -1,0 +1,110 @@
+// Package sensors implements the AV's sensor suite: the hood camera (backed
+// by the software renderer), GPS with bias drift and jitter, a speedometer,
+// and a 2D LIDAR — the measurement sources the paper's data-fault injectors
+// corrupt ("manipulating sensor measurements (such as camera images, LIDAR,
+// and GPS)").
+//
+// All noise is drawn from deterministic rng streams so that a campaign seed
+// reproduces identical sensor traces.
+package sensors
+
+import (
+	"math"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// Camera is the forward RGB camera; it owns no state beyond the renderer.
+type Camera struct {
+	r *render.Renderer
+}
+
+// NewCamera wraps a renderer as a camera sensor.
+func NewCamera(r *render.Renderer) *Camera { return &Camera{r: r} }
+
+// Capture renders the camera frame for the scene.
+func (c *Camera) Capture(scene render.Scene) *render.Image { return c.r.Render(scene) }
+
+// Config returns the camera geometry.
+func (c *Camera) Config() render.Config { return c.r.Config() }
+
+// GPS models a satellite fix: a slowly drifting bias (random walk) plus
+// per-reading jitter, both Gaussian.
+type GPS struct {
+	jitter   float64
+	walkRate float64
+	bias     geom.Vec
+	r        *rng.Stream
+}
+
+// NewGPS constructs a GPS with the given per-reading jitter stddev (m) and
+// bias random-walk rate (m per reading).
+func NewGPS(jitter, walkRate float64, r *rng.Stream) *GPS {
+	return &GPS{jitter: jitter, walkRate: walkRate, r: r}
+}
+
+// Read returns a noisy fix of the true position.
+func (g *GPS) Read(truth geom.Vec) geom.Vec {
+	g.bias = g.bias.Add(geom.V(g.r.NormScaled(0, g.walkRate), g.r.NormScaled(0, g.walkRate)))
+	return truth.Add(g.bias).Add(geom.V(g.r.NormScaled(0, g.jitter), g.r.NormScaled(0, g.jitter)))
+}
+
+// Bias returns the current drift, for tests.
+func (g *GPS) Bias() geom.Vec { return g.bias }
+
+// Speedometer reads vehicle speed with multiplicative noise, clamped
+// non-negative.
+type Speedometer struct {
+	noise float64
+	r     *rng.Stream
+}
+
+// NewSpeedometer constructs a speedometer with fractional noise stddev.
+func NewSpeedometer(noise float64, r *rng.Stream) *Speedometer {
+	return &Speedometer{noise: noise, r: r}
+}
+
+// Read returns a noisy speed reading.
+func (s *Speedometer) Read(truth float64) float64 {
+	v := truth * (1 + s.r.NormScaled(0, s.noise))
+	return math.Max(0, v)
+}
+
+// Lidar is a planar scanner: Beams rays spread uniformly over 2*pi,
+// returning range per beam (MaxRange on miss). It shares raycast geometry
+// with the renderer so the two sensors agree about the world.
+type Lidar struct {
+	Beams    int
+	MaxRange float64
+}
+
+// NewLidar constructs a scanner.
+func NewLidar(beams int, maxRange float64) *Lidar {
+	return &Lidar{Beams: beams, MaxRange: maxRange}
+}
+
+// Scan returns ranges from the pose against buildings and obstacle boxes.
+// Beam 0 points along the pose heading; beams proceed counterclockwise.
+func (l *Lidar) Scan(town *world.Town, pose geom.Pose, obstacles []geom.OBB) []float64 {
+	out := make([]float64, l.Beams)
+	for i := range out {
+		angle := pose.Heading + 2*math.Pi*float64(i)/float64(l.Beams)
+		ray := geom.NewRay(pose.Pos, geom.FromAngle(angle))
+		best := l.MaxRange
+		if d, _, ok := town.RaycastBuildings(ray, best); ok {
+			best = d
+		}
+		for _, ob := range obstacles {
+			for _, e := range ob.Edges() {
+				if t, hit := ray.IntersectSegment(e); hit && t < best {
+					best = t
+				}
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/world"
+)
+
+func TestGPSJitterStatistics(t *testing.T) {
+	g := NewGPS(0.5, 0, rng.New(1)) // no walk, pure jitter
+	truth := geom.V(100, 200)
+	const n = 20000
+	var sumX, sumY, ssX float64
+	for i := 0; i < n; i++ {
+		r := g.Read(truth)
+		sumX += r.X - truth.X
+		sumY += r.Y - truth.Y
+		ssX += (r.X - truth.X) * (r.X - truth.X)
+	}
+	if math.Abs(sumX/n) > 0.02 || math.Abs(sumY/n) > 0.02 {
+		t.Errorf("GPS jitter biased: %v, %v", sumX/n, sumY/n)
+	}
+	if sd := math.Sqrt(ssX / n); math.Abs(sd-0.5) > 0.03 {
+		t.Errorf("GPS jitter stddev = %v, want ~0.5", sd)
+	}
+}
+
+func TestGPSBiasWalks(t *testing.T) {
+	g := NewGPS(0, 0.1, rng.New(2))
+	truth := geom.V(0, 0)
+	for i := 0; i < 1000; i++ {
+		g.Read(truth)
+	}
+	if g.Bias().Len() == 0 {
+		t.Error("GPS bias never drifted")
+	}
+}
+
+func TestGPSDeterministic(t *testing.T) {
+	mk := func() geom.Vec {
+		g := NewGPS(0.3, 0.05, rng.New(7))
+		var last geom.Vec
+		for i := 0; i < 10; i++ {
+			last = g.Read(geom.V(5, 5))
+		}
+		return last
+	}
+	if mk() != mk() {
+		t.Error("GPS not deterministic for fixed stream")
+	}
+}
+
+func TestSpeedometer(t *testing.T) {
+	s := NewSpeedometer(0.02, rng.New(3))
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Read(10)
+		if v < 0 {
+			t.Fatal("negative speed reading")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Errorf("speedometer mean = %v, want ~10", mean)
+	}
+	// Zero truth reads zero regardless of noise.
+	if s.Read(0) != 0 {
+		t.Error("speedometer invented speed at rest")
+	}
+}
+
+func TestLidarRangesAndMisses(t *testing.T) {
+	net := world.NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(200, 0))
+	net.AddEdge(a, b)
+	town := &world.Town{
+		Net: net,
+		Buildings: []world.Building{
+			{Box: geom.NewAABB(geom.V(20, -5), geom.V(30, 5)), Height: 10, Shade: 0.5},
+		},
+	}
+	l := NewLidar(8, 50)
+	ranges := l.Scan(town, geom.P(0, 0, 0), nil)
+	if len(ranges) != 8 {
+		t.Fatalf("beam count = %d", len(ranges))
+	}
+	// Beam 0 (forward, +X) hits the building at 20m.
+	if math.Abs(ranges[0]-20) > 1e-9 {
+		t.Errorf("forward beam = %v, want 20", ranges[0])
+	}
+	// Beam 4 (backward) misses: max range.
+	if ranges[4] != 50 {
+		t.Errorf("backward beam = %v, want 50 (miss)", ranges[4])
+	}
+}
+
+func TestLidarSeesObstacles(t *testing.T) {
+	town := &world.Town{Net: world.NewNetwork(3.5, 2)}
+	l := NewLidar(4, 100)
+	ob := geom.NewOBB(geom.P(10, 0, 0), 4, 2)
+	ranges := l.Scan(town, geom.P(0, 0, 0), []geom.OBB{ob})
+	if math.Abs(ranges[0]-8) > 1e-9 { // box rear face at 10-2=8
+		t.Errorf("obstacle beam = %v, want 8", ranges[0])
+	}
+}
+
+func TestCameraCaptureMatchesRenderer(t *testing.T) {
+	town, err := world.GenerateTown(world.DefaultTownConfig(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := render.New(render.DefaultConfig(), town)
+	cam := NewCamera(r)
+	scene := render.Scene{CamPose: town.Spawns[0], Weather: world.WeatherClear}
+	a := cam.Capture(scene)
+	b := r.Render(scene)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("camera capture differs from renderer output")
+		}
+	}
+	if cam.Config() != r.Config() {
+		t.Error("camera config mismatch")
+	}
+}

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/avfi/avfi/internal/actors"
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/sensors"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// World is an immutable simulation arena: the generated town plus the
+// shared renderer. It is safe to run many Episodes against one World
+// concurrently; each Episode owns all mutable state.
+type World struct {
+	cfg      WorldConfig
+	town     *world.Town
+	renderer *render.Renderer
+	lidar    *sensors.Lidar
+}
+
+// NewWorld generates the town for the given configuration.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	town, err := world.GenerateTown(cfg.Town, rng.New(cfg.Seed).Split("town"))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	w := &World{
+		cfg:      cfg,
+		town:     town,
+		renderer: render.New(cfg.Camera, town),
+	}
+	if cfg.LidarBeams > 0 {
+		rng := cfg.LidarRange
+		if rng <= 0 {
+			rng = 60
+		}
+		w.lidar = sensors.NewLidar(cfg.LidarBeams, rng)
+	}
+	return w, nil
+}
+
+// Town returns the generated town.
+func (w *World) Town() *world.Town { return w.town }
+
+// Renderer returns the shared camera renderer.
+func (w *World) Renderer() *render.Renderer { return w.renderer }
+
+// Observation is what the ego vehicle's sensors deliver each frame — the
+// payload the server ships to the driving agent (and the surface the
+// input-fault injectors corrupt).
+type Observation struct {
+	// Image is the forward camera frame.
+	Image *render.Image
+	// Speed is the speedometer reading, m/s.
+	Speed float64
+	// GPS is the noisy position fix.
+	GPS geom.Vec
+	// Lidar is the planar scan (beam 0 forward, counterclockwise), nil
+	// when the world has no LIDAR configured.
+	Lidar []float64
+	// Command is the high-level navigation command (conditional IL input).
+	Command world.TurnKind
+	// Frame and TimeSec stamp the observation.
+	Frame   int
+	TimeSec float64
+	// Done and Status report episode termination.
+	Done   bool
+	Status Status
+}
+
+// Result summarizes a finished episode for the metrics engine.
+type Result struct {
+	Status     Status
+	Success    bool
+	DistanceM  float64
+	DurationS  float64
+	Frames     int
+	Violations []Violation
+	// RouteLengthM is the planned route length, for normalizing.
+	RouteLengthM float64
+}
+
+// Episode is one mission: ego vehicle driving a route through traffic.
+// Not safe for concurrent use.
+type Episode struct {
+	w   *World
+	cfg EpisodeConfig
+
+	route  *world.Route
+	ego    physics.VehicleState
+	params physics.VehicleParams
+	npcs   []*actors.Vehicle
+	peds   []*actors.Pedestrian
+
+	gps   *sensors.GPS
+	speed *sensors.Speedometer
+
+	frame    int
+	status   Status
+	distance float64
+	tracker  *violationTracker
+	// prevPose restores the ego when a collision blocks movement.
+	prevPose physics.VehicleState
+}
+
+// NewEpisode plans the mission route and spawns actors.
+func (w *World) NewEpisode(cfg EpisodeConfig) (*Episode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	route, err := w.town.Net.PlanRoute(cfg.From, cfg.To)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cfg = cfg.withDefaults(route.Length())
+
+	root := rng.New(cfg.Seed)
+	e := &Episode{
+		w:       w,
+		cfg:     cfg,
+		route:   route,
+		params:  physics.DefaultVehicleParams(),
+		ego:     physics.VehicleState{Pose: route.Start()},
+		gps:     sensors.NewGPS(0.4, 0.02, root.Split("gps")),
+		speed:   sensors.NewSpeedometer(0.01, root.Split("speedometer")),
+		status:  StatusRunning,
+		tracker: newViolationTracker(),
+	}
+	e.prevPose = e.ego
+
+	e.spawnNPCs(root.Split("npcs"))
+	e.spawnPedestrians(root.Split("peds"))
+	return e, nil
+}
+
+// spawnNPCs places NPC vehicles on random edges away from the ego start.
+func (e *Episode) spawnNPCs(r *rng.Stream) {
+	net := e.w.town.Net
+	segs := net.Segments()
+	if len(segs) == 0 {
+		return
+	}
+	for i := 0; i < e.cfg.NumNPCs; i++ {
+		for attempt := 0; attempt < 20; attempt++ {
+			// Random directed edge.
+			a := world.NodeID(r.Intn(net.NodeCount()))
+			nbs := net.Neighbors(a)
+			if len(nbs) == 0 {
+				continue
+			}
+			b := nbs[r.Intn(len(nbs))]
+			frac := r.Range(0.2, 0.8)
+			v := actors.NewVehicle(e.w.town, a, b, frac, r.Range(5, 9), r.SplitN(uint64(i)))
+			if v.State.Pose.Pos.Dist(e.ego.Pose.Pos) < 25 {
+				continue
+			}
+			e.npcs = append(e.npcs, v)
+			break
+		}
+	}
+}
+
+// spawnPedestrians places walkers on random sidewalks.
+func (e *Episode) spawnPedestrians(r *rng.Stream) {
+	net := e.w.town.Net
+	for i := 0; i < e.cfg.NumPedestrians; i++ {
+		for attempt := 0; attempt < 20; attempt++ {
+			a := world.NodeID(r.Intn(net.NodeCount()))
+			nbs := net.Neighbors(a)
+			if len(nbs) == 0 {
+				continue
+			}
+			b := nbs[r.Intn(len(nbs))]
+			side := 1.0
+			if r.Bool(0.5) {
+				side = -1
+			}
+			p := actors.NewPedestrian(e.w.town, a, b, r.Range(0.1, 0.9), side, r.SplitN(uint64(i)))
+			if p.State.Pos.Dist(e.ego.Pose.Pos) < 15 {
+				continue
+			}
+			e.peds = append(e.peds, p)
+			break
+		}
+	}
+}
+
+// Route returns the mission route (read-only).
+func (e *Episode) Route() *world.Route { return e.route }
+
+// EgoState returns the ego vehicle's true state (ground truth; the agent
+// only sees sensors).
+func (e *Episode) EgoState() physics.VehicleState { return e.ego }
+
+// EgoParams returns the ego vehicle's physical constants.
+func (e *Episode) EgoParams() physics.VehicleParams { return e.params }
+
+// Frame returns the current frame number.
+func (e *Episode) Frame() int { return e.frame }
+
+// TimeSec returns the episode clock.
+func (e *Episode) TimeSec() float64 { return float64(e.frame) * Dt }
+
+// Done reports whether the episode has terminated.
+func (e *Episode) Done() bool { return e.status != StatusRunning }
+
+// Status returns the episode status.
+func (e *Episode) Status() Status { return e.status }
+
+// camPose is the hood camera pose.
+func (e *Episode) camPose() geom.Pose {
+	return geom.Pose{
+		Pos:     e.ego.Pose.Advance(e.params.Wheelbase).Pos,
+		Heading: e.ego.Pose.Heading,
+	}
+}
+
+// obstacles returns all dynamic render/LIDAR boxes except the ego.
+func (e *Episode) obstacles() []render.Obstacle {
+	out := make([]render.Obstacle, 0, len(e.npcs)+len(e.peds))
+	for _, v := range e.npcs {
+		out = append(out, render.Obstacle{Box: v.OBB(), Height: 1.5, Kind: render.ObstacleVehicle})
+	}
+	for _, p := range e.peds {
+		out = append(out, render.Obstacle{Box: p.OBB(), Height: 1.8, Kind: render.ObstaclePedestrian})
+	}
+	return out
+}
+
+// RenderObstacles returns the dynamic obstacle boxes (NPC vehicles and
+// pedestrians) as the sensors see them; the expert controller and the
+// LIDAR share this view.
+func (e *Episode) RenderObstacles() []render.Obstacle { return e.obstacles() }
+
+// Observe renders the current sensor frame. Call once per frame; rendering
+// dominates the simulation cost.
+func (e *Episode) Observe() Observation {
+	scene := render.Scene{
+		CamPose:   e.camPose(),
+		Weather:   e.cfg.Weather,
+		Obstacles: e.obstacles(),
+		Frame:     e.frame,
+	}
+	s, _, _ := e.route.Project(e.ego.Pose.Pos)
+	var lidar []float64
+	if e.w.lidar != nil {
+		lidar = e.LidarScan(e.w.lidar)
+	}
+	return Observation{
+		Image:   e.w.renderer.Render(scene),
+		Speed:   e.speed.Read(e.ego.Speed),
+		GPS:     e.gps.Read(e.ego.Pose.Pos),
+		Lidar:   lidar,
+		Command: e.route.Command(s, 30),
+		Frame:   e.frame,
+		TimeSec: e.TimeSec(),
+		Done:    e.Done(),
+		Status:  e.status,
+	}
+}
+
+// Step advances the world one frame under the given ego control. It is a
+// no-op once the episode is done.
+func (e *Episode) Step(ctl physics.Control) {
+	if e.Done() {
+		return
+	}
+	e.prevPose = e.ego
+	before := e.ego.Pose.Pos
+
+	// Ego dynamics.
+	e.ego = physics.StepVehicle(e.ego, ctl, e.params, Dt)
+
+	// NPC traffic: each yields to everything else, including the ego.
+	egoBox := physics.VehicleOBB(e.ego, e.params)
+	for i, v := range e.npcs {
+		blockers := make([]geom.OBB, 0, len(e.npcs)+len(e.peds))
+		blockers = append(blockers, egoBox)
+		for j, o := range e.npcs {
+			if j != i {
+				blockers = append(blockers, o.OBB())
+			}
+		}
+		for _, p := range e.peds {
+			blockers = append(blockers, p.OBB())
+		}
+		v.Step(Dt, blockers)
+	}
+	for _, p := range e.peds {
+		p.Step(Dt)
+	}
+
+	// Collision handling: buildings and vehicles block (inelastic stop);
+	// pedestrians do not block.
+	egoBox = physics.VehicleOBB(e.ego, e.params)
+	hitStatic := e.w.town.CollidesBuilding(egoBox)
+	hitVehicle := false
+	for _, v := range e.npcs {
+		if egoBox.Intersects(v.OBB()) {
+			hitVehicle = true
+			break
+		}
+	}
+	if hitStatic || hitVehicle {
+		// Revert to the pre-step pose and kill speed: the car has crashed
+		// into something solid.
+		e.ego = e.prevPose
+		e.ego.Speed = 0
+	}
+	hitPed := false
+	for _, p := range e.peds {
+		if physics.VehicleHitsPedestrian(e.ego, e.params, p.State) {
+			hitPed = true
+			break
+		}
+	}
+
+	e.frame++
+	now := e.TimeSec()
+	e.distance += e.ego.Pose.Pos.Dist(before)
+
+	// Violation conditions on the post-step state.
+	e.detectViolations(hitStatic, hitVehicle, hitPed, now)
+
+	// Termination.
+	if e.route.RemainingAt(e.progressS()) < 1 &&
+		e.ego.Pose.Pos.Dist(e.route.Goal()) < e.cfg.GoalRadius {
+		e.status = StatusSuccess
+		return
+	}
+	if now >= e.cfg.TimeoutSec {
+		e.status = StatusTimeout
+	}
+}
+
+// progressS returns the ego's arc length along the route.
+func (e *Episode) progressS() float64 {
+	s, _, _ := e.route.Project(e.ego.Pose.Pos)
+	return s
+}
+
+// detectViolations evaluates the paper's violation taxonomy for one frame.
+func (e *Episode) detectViolations(hitStatic, hitVehicle, hitPed bool, now float64) {
+	net := e.w.town.Net
+	center := physics.VehicleOBB(e.ego, e.params).Pose.Pos
+
+	// Lane violation: center of the car over the center line, i.e. on the
+	// left half of the road relative to its travel direction. Junction
+	// pads have no markings and are exempt (turning legitimately sweeps
+	// across the geometric centerline there).
+	laneViol := false
+	if !net.NearNode(center, net.RoadHalfWidth()*2) {
+		if lat, ok := net.AlignedRoadLateral(center, e.ego.Pose.Heading); ok {
+			laneViol = lat > 0.3 // tolerance: touching the line isn't an event
+		}
+	}
+
+	// Curb violation: vehicle center off the pavement.
+	curbViol := !net.OnRoad(center)
+
+	e.tracker.observe(ViolationLane, laneViol, now, center)
+	e.tracker.observe(ViolationCurb, curbViol, now, center)
+	e.tracker.observe(ViolationCollisionStatic, hitStatic, now, center)
+	e.tracker.observe(ViolationCollisionVehicle, hitVehicle, now, center)
+	e.tracker.observe(ViolationCollisionPedestrian, hitPed, now, center)
+}
+
+// Violations returns the debounced events so far.
+func (e *Episode) Violations() []Violation { return e.tracker.Events() }
+
+// Result summarizes the episode. Valid at any time; Success only after
+// termination.
+func (e *Episode) Result() Result {
+	return Result{
+		Status:       e.status,
+		Success:      e.status == StatusSuccess,
+		DistanceM:    e.distance,
+		DurationS:    e.TimeSec(),
+		Frames:       e.frame,
+		Violations:   append([]Violation(nil), e.tracker.Events()...),
+		RouteLengthM: e.route.Length(),
+	}
+}
+
+// TopDownView renders the spectator (bird's-eye) image of the episode:
+// town, route overlay, traffic, and the ego vehicle highlighted.
+func (e *Episode) TopDownView(cfg render.TopDownConfig) *render.Image {
+	return render.RenderTopDown(cfg, e.w.town, render.TopDownScene{
+		Ego:       physics.VehicleOBB(e.ego, e.params),
+		Obstacles: e.obstacles(),
+		Route:     e.route,
+	})
+}
+
+// LidarScan runs a LIDAR sweep from the ego's roof; exposed for the sensor
+// suite and its fault injectors.
+func (e *Episode) LidarScan(l *sensors.Lidar) []float64 {
+	boxes := make([]geom.OBB, 0, len(e.npcs)+len(e.peds))
+	for _, v := range e.npcs {
+		boxes = append(boxes, v.OBB())
+	}
+	for _, p := range e.peds {
+		boxes = append(boxes, p.OBB())
+	}
+	return l.Scan(e.w.town, e.ego.Pose, boxes)
+}

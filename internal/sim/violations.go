@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"github.com/avfi/avfi/internal/geom"
+)
+
+// ViolationKind classifies a traffic violation, following the paper's
+// taxonomy: "lane violations, driving on the curb, and collisions with
+// pedestrians, cars, and other objects on the streets".
+type ViolationKind int
+
+// Violation kinds. Enums start at one.
+const (
+	ViolationInvalid ViolationKind = iota
+	// ViolationLane: the vehicle center crossed the center line into the
+	// opposing lane (outside junction boxes, which have no markings).
+	ViolationLane
+	// ViolationCurb: the vehicle center left the paved road.
+	ViolationCurb
+	// ViolationCollisionVehicle: struck another vehicle.
+	ViolationCollisionVehicle
+	// ViolationCollisionPedestrian: struck a pedestrian.
+	ViolationCollisionPedestrian
+	// ViolationCollisionStatic: struck a building or other fixed object.
+	ViolationCollisionStatic
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationLane:
+		return "lane"
+	case ViolationCurb:
+		return "curb"
+	case ViolationCollisionVehicle:
+		return "collision-vehicle"
+	case ViolationCollisionPedestrian:
+		return "collision-pedestrian"
+	case ViolationCollisionStatic:
+		return "collision-static"
+	default:
+		return "invalid"
+	}
+}
+
+// IsAccident reports whether the violation counts toward Accidents Per KM
+// (the paper's APK counts collisions).
+func (k ViolationKind) IsAccident() bool {
+	switch k {
+	case ViolationCollisionVehicle, ViolationCollisionPedestrian, ViolationCollisionStatic:
+		return true
+	default:
+		return false
+	}
+}
+
+// Violation is one debounced violation event.
+type Violation struct {
+	Kind ViolationKind
+	// TimeSec is the episode time at which the event started.
+	TimeSec float64
+	// Pos is where the ego vehicle was.
+	Pos geom.Vec
+}
+
+// violationCooldownSec: a violation condition must clear for this long
+// before the same kind can produce a new event. This makes VPK count
+// discrete violations (the paper's "number of traffic violations"), not
+// frames spent violating.
+const violationCooldownSec = 2.0
+
+// violationTracker debounces per-kind raw conditions into events.
+type violationTracker struct {
+	events []Violation
+	// lastTrue is the most recent time each kind's condition held.
+	lastTrue map[ViolationKind]float64
+	// active marks kinds currently in a violation episode.
+	active map[ViolationKind]bool
+}
+
+func newViolationTracker() *violationTracker {
+	return &violationTracker{
+		lastTrue: make(map[ViolationKind]float64),
+		active:   make(map[ViolationKind]bool),
+	}
+}
+
+// observe folds one frame's raw condition for a kind.
+func (t *violationTracker) observe(kind ViolationKind, cond bool, now float64, pos geom.Vec) {
+	if cond {
+		last, seen := t.lastTrue[kind]
+		if !t.active[kind] && (!seen || now-last > violationCooldownSec) {
+			t.events = append(t.events, Violation{Kind: kind, TimeSec: now, Pos: pos})
+		}
+		t.active[kind] = true
+		t.lastTrue[kind] = now
+		return
+	}
+	if t.active[kind] {
+		if last, seen := t.lastTrue[kind]; seen && now-last > violationCooldownSec {
+			t.active[kind] = false
+		}
+	}
+}
+
+// Events returns the debounced events so far.
+func (t *violationTracker) Events() []Violation { return t.events }

@@ -1,0 +1,179 @@
+// Package simclient runs the agent side of the CARLA-style client/server
+// split, and is where AVFI instruments the system under test: the fault
+// pipeline (input faults -> agent -> output faults -> timing faults) wraps
+// the driving agent exactly as the paper's Figure 1 places the Input FI,
+// NN FI, Output FI and Timing FI hooks.
+package simclient
+
+import (
+	"fmt"
+
+	"github.com/avfi/avfi/internal/agent"
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/render"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/safety"
+	"github.com/avfi/avfi/internal/tensor"
+	"github.com/avfi/avfi/internal/transport"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// Driver computes one control per sensor frame.
+type Driver interface {
+	// Drive maps a decoded sensor frame to a control command.
+	Drive(frame *proto.SensorFrame) (physics.Control, error)
+	// Reset is called once before the first frame of an episode.
+	Reset()
+}
+
+// RunEpisode consumes sensor frames from the connection, drives them
+// through the Driver, and sends controls back, until the server reports the
+// episode done. It returns the server's final episode summary.
+func RunEpisode(conn transport.Conn, d Driver) (*proto.EpisodeEnd, error) {
+	d.Reset()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("simclient: recv: %w", err)
+		}
+		kind, err := proto.Kind(msg)
+		if err != nil {
+			return nil, fmt.Errorf("simclient: %w", err)
+		}
+		switch kind {
+		case proto.KindEpisodeEnd:
+			end, err := proto.DecodeEpisodeEnd(msg)
+			if err != nil {
+				return nil, fmt.Errorf("simclient: %w", err)
+			}
+			return end, nil
+
+		case proto.KindSensorFrame:
+			frame, err := proto.DecodeSensorFrame(msg)
+			if err != nil {
+				return nil, fmt.Errorf("simclient: %w", err)
+			}
+			if frame.Done {
+				// Final frame; the episode-end summary follows.
+				continue
+			}
+			ctl, err := d.Drive(frame)
+			if err != nil {
+				return nil, fmt.Errorf("simclient: drive frame %d: %w", frame.Frame, err)
+			}
+			out := &proto.Control{
+				Frame:    frame.Frame,
+				Steer:    ctl.Steer,
+				Throttle: ctl.Throttle,
+				Brake:    ctl.Brake,
+			}
+			if err := conn.Send(proto.EncodeControl(out)); err != nil {
+				return nil, fmt.Errorf("simclient: send control %d: %w", frame.Frame, err)
+			}
+
+		default:
+			return nil, fmt.Errorf("simclient: unexpected message kind %d", kind)
+		}
+	}
+}
+
+// FaultedDriver wraps the ADA with AVFI's client-side fault pipeline.
+type FaultedDriver struct {
+	// Agent is the driving network (a per-episode clone; ML faults mutate
+	// it in place).
+	Agent *agent.Agent
+	// Input, Output, Timing are the fault hooks; nil slots are skipped.
+	Input  fault.InputInjector
+	Output fault.OutputInjector
+	Timing fault.TimingInjector
+	// AEB, when non-nil, is the independent emergency-braking monitor; it
+	// watches the (possibly faulted) LIDAR and can override the final
+	// control with a full brake.
+	AEB *safety.AEB
+	// Rand supplies the episode's fault-injection randomness.
+	Rand *rng.Stream
+}
+
+var _ Driver = (*FaultedDriver)(nil)
+
+// NewFaultedDriver builds the standard pipeline. Any injector may be nil.
+func NewFaultedDriver(a *agent.Agent, in fault.InputInjector, out fault.OutputInjector, timing fault.TimingInjector, r *rng.Stream) *FaultedDriver {
+	return &FaultedDriver{Agent: a, Input: in, Output: out, Timing: timing, Rand: r}
+}
+
+// ApplyModelFault corrupts the driver's agent with an ML fault injector
+// (call once, before the episode).
+func (d *FaultedDriver) ApplyModelFault(mi fault.ModelInjector, r *rng.Stream) {
+	mi.InjectModel(func(fn func(component string, layer int, name string, t fault.ParamTensor)) {
+		d.Agent.VisitParams(func(component string, layer int, name string, v *tensor.Tensor) {
+			fn(component, layer, name, v)
+		})
+	}, r)
+}
+
+// Reset implements Driver.
+func (d *FaultedDriver) Reset() {
+	d.Agent.Reset()
+	if d.Timing != nil {
+		d.Timing.Reset()
+	}
+}
+
+// Drive implements Driver: decode sensors, apply input faults, run the
+// network, apply output and timing faults.
+func (d *FaultedDriver) Drive(frame *proto.SensorFrame) (physics.Control, error) {
+	img, err := render.ImageFromBytes(int(frame.ImageW), int(frame.ImageH), frame.Pixels)
+	if err != nil {
+		return physics.Control{}, err
+	}
+	speed := frame.Speed
+	gpsX, gpsY := frame.GPSX, frame.GPSY
+	fnum := int(frame.Frame)
+
+	lidar := append([]float64(nil), frame.Lidar...)
+	if d.Input != nil {
+		d.Input.InjectImage(img, fnum, d.Rand)
+		speed, gpsX, gpsY = d.Input.InjectMeasurements(speed, gpsX, gpsY, fnum, d.Rand)
+		if li, ok := d.Input.(fault.LidarInjector); ok {
+			li.InjectLidar(lidar, fnum, d.Rand)
+		}
+	}
+	_ = gpsX // the IL agent does not consume GPS directly; localization
+	_ = gpsY // faults matter to GPS-dependent planners (see examples)
+
+	ctl, err := d.Agent.Act(img, speed, world.TurnKind(frame.Command))
+	if err != nil {
+		return physics.Control{}, err
+	}
+	if d.Output != nil {
+		ctl = d.Output.InjectControl(ctl, fnum, d.Rand)
+	}
+	if d.Timing != nil {
+		ctl = d.Timing.Transform(ctl, fnum, d.Rand)
+	}
+	if d.AEB != nil {
+		// The safety monitor sits closest to the actuators: it sees the
+		// post-fault control and the post-fault LIDAR.
+		ctl, _ = d.AEB.Filter(ctl, lidar, speed)
+	}
+	return ctl, nil
+}
+
+// AutopilotDriver adapts a ground-truth controller to the Driver interface
+// for protocol tests (it ignores the sensor payload and uses a callback).
+type AutopilotDriver struct {
+	// Fn computes the control for a frame number.
+	Fn func(frame *proto.SensorFrame) physics.Control
+}
+
+var _ Driver = (*AutopilotDriver)(nil)
+
+// Drive implements Driver.
+func (d *AutopilotDriver) Drive(frame *proto.SensorFrame) (physics.Control, error) {
+	return d.Fn(frame), nil
+}
+
+// Reset implements Driver.
+func (d *AutopilotDriver) Reset() {}

@@ -1,0 +1,72 @@
+// Package simserver runs the world-simulator side of the CARLA-style
+// client/server split: it owns a sim.Episode and speaks the proto protocol
+// over any transport.Conn — each frame it ships the sensor payload, waits
+// for the agent's control, and steps the world.
+//
+// The server is deliberately fault-free: all of AVFI's injectors instrument
+// the client side (the ADA process), matching the paper's deployment where
+// AVFI hooks the CARLA *client*.
+package simserver
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/transport"
+)
+
+// ServeEpisode drives one episode over the connection until the mission
+// terminates, then sends EpisodeEnd and returns the result. The connection
+// is left open (the caller owns its lifecycle).
+func ServeEpisode(e *sim.Episode, conn transport.Conn) (sim.Result, error) {
+	for {
+		obs := e.Observe()
+		frame := &proto.SensorFrame{
+			Frame:   uint32(obs.Frame),
+			TimeSec: obs.TimeSec,
+			ImageW:  uint16(obs.Image.W),
+			ImageH:  uint16(obs.Image.H),
+			Pixels:  obs.Image.ToBytes(),
+			Speed:   obs.Speed,
+			GPSX:    obs.GPS.X,
+			GPSY:    obs.GPS.Y,
+			Lidar:   obs.Lidar,
+			Command: uint8(obs.Command),
+			Done:    obs.Done,
+			Status:  uint8(obs.Status),
+		}
+		if err := conn.Send(proto.EncodeSensorFrame(frame)); err != nil {
+			return sim.Result{}, fmt.Errorf("simserver: send frame %d: %w", obs.Frame, err)
+		}
+		if obs.Done {
+			break
+		}
+
+		msg, err := conn.Recv()
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("simserver: recv control for frame %d: %w", obs.Frame, err)
+		}
+		ctl, err := proto.DecodeControl(msg)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("simserver: frame %d: %w", obs.Frame, err)
+		}
+		e.Step(physics.Control{Steer: ctl.Steer, Throttle: ctl.Throttle, Brake: ctl.Brake})
+	}
+
+	res := e.Result()
+	end := &proto.EpisodeEnd{
+		Status:    uint8(res.Status),
+		Frames:    uint32(res.Frames),
+		DistanceM: res.DistanceM,
+	}
+	if err := conn.Send(proto.EncodeEpisodeEnd(end)); err != nil {
+		// The episode finished; a lost end-notification is non-fatal.
+		if !errors.Is(err, transport.ErrClosed) {
+			return res, fmt.Errorf("simserver: send episode end: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package simserver
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/avfi/avfi/internal/autopilot"
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/rng"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/simclient"
+	"github.com/avfi/avfi/internal/transport"
+	"github.com/avfi/avfi/internal/world"
+)
+
+func testWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultWorldConfig()
+	cfg.Town.GridW, cfg.Town.GridH = 3, 3
+	cfg.Camera.Width, cfg.Camera.Height = 16, 12
+	w, err := sim.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mission(t *testing.T, w *sim.World, seed uint64) (world.NodeID, world.NodeID) {
+	t.Helper()
+	from, to, err := w.Town().RandomMission(rng.New(seed), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return from, to
+}
+
+// runOverPipe serves an episode over an in-process pipe with an autopilot
+// client and returns both sides' results.
+func runOverPipe(t *testing.T, w *sim.World, seed uint64) (sim.Result, *proto.EpisodeEnd) {
+	t.Helper()
+	from, to := mission(t, w, seed)
+	e, err := w.NewEpisode(sim.EpisodeConfig{From: from, To: to, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pilot := autopilot.New(e.Route(), e.EgoParams(), autopilot.DefaultConfig())
+
+	serverConn, clientConn := transport.Pipe()
+	defer serverConn.Close()
+	defer clientConn.Close()
+
+	var (
+		wg        sync.WaitGroup
+		serverRes sim.Result
+		serverErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serverRes, serverErr = ServeEpisode(e, serverConn)
+	}()
+
+	driver := &simclient.AutopilotDriver{
+		Fn: func(frame *proto.SensorFrame) physics.Control {
+			// Ground-truth controller: the protocol carries sensor frames,
+			// but the expert uses episode state (legitimate server-side
+			// oracle for tests).
+			return pilot.Control(e.EgoState(), nil)
+		},
+	}
+	end, err := simclient.RunEpisode(clientConn, driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+	return serverRes, end
+}
+
+func TestEpisodeOverInProcPipe(t *testing.T) {
+	w := testWorld(t)
+	res, end := runOverPipe(t, w, 1)
+	if !res.Success {
+		t.Errorf("autopilot over pipe failed: %+v", res.Status)
+	}
+	if end.Status != uint8(res.Status) {
+		t.Errorf("client saw status %d, server %d", end.Status, res.Status)
+	}
+	if int(end.Frames) != res.Frames {
+		t.Errorf("frame count mismatch: %d vs %d", end.Frames, res.Frames)
+	}
+	if end.DistanceM != res.DistanceM {
+		t.Errorf("distance mismatch: %v vs %v", end.DistanceM, res.DistanceM)
+	}
+}
+
+func TestEpisodeOverTCP(t *testing.T) {
+	w := testWorld(t)
+	from, to := mission(t, w, 2)
+	e, err := w.NewEpisode(sim.EpisodeConfig{From: from, To: to, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pilot := autopilot.New(e.Route(), e.EgoParams(), autopilot.DefaultConfig())
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var (
+		wg        sync.WaitGroup
+		serverRes sim.Result
+		serverErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer conn.Close()
+		serverRes, serverErr = ServeEpisode(e, conn)
+	}()
+
+	clientConn, err := transport.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+
+	driver := &simclient.AutopilotDriver{
+		Fn: func(frame *proto.SensorFrame) physics.Control {
+			return pilot.Control(e.EgoState(), nil)
+		},
+	}
+	end, err := simclient.RunEpisode(clientConn, driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+	if !serverRes.Success {
+		t.Errorf("TCP episode failed: %v", serverRes.Status)
+	}
+	if end.Frames == 0 {
+		t.Error("client saw zero frames")
+	}
+}
+
+func TestTransportEquivalence(t *testing.T) {
+	// The same mission must produce identical results over pipe and TCP:
+	// the transports are interchangeable, so timing faults measured on the
+	// pipe transfer to the network deployment.
+	w := testWorld(t)
+
+	resPipe, _ := runOverPipe(t, w, 3)
+
+	// TCP run of the same mission and seed.
+	from, to := mission(t, w, 3)
+	e, err := w.NewEpisode(sim.EpisodeConfig{From: from, To: to, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pilot := autopilot.New(e.Route(), e.EgoParams(), autopilot.DefaultConfig())
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	var resTCP sim.Result
+	var serverErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer conn.Close()
+		resTCP, serverErr = ServeEpisode(e, conn)
+	}()
+	clientConn, err := transport.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+	_, err = simclient.RunEpisode(clientConn, &simclient.AutopilotDriver{
+		Fn: func(frame *proto.SensorFrame) physics.Control {
+			return pilot.Control(e.EgoState(), nil)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+
+	if resPipe.Frames != resTCP.Frames || resPipe.DistanceM != resTCP.DistanceM ||
+		resPipe.Success != resTCP.Success {
+		t.Errorf("pipe vs TCP diverged: %+v vs %+v", resPipe, resTCP)
+	}
+}
+
+func TestServerFailsOnClosedConn(t *testing.T) {
+	w := testWorld(t)
+	from, to := mission(t, w, 4)
+	e, err := w.NewEpisode(sim.EpisodeConfig{From: from, To: to, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverConn, clientConn := transport.Pipe()
+	clientConn.Close()
+	serverConn.Close()
+	if _, err := ServeEpisode(e, serverConn); err == nil {
+		t.Error("serving over closed conn did not error")
+	}
+}
+
+func TestClientRejectsGarbage(t *testing.T) {
+	serverConn, clientConn := transport.Pipe()
+	defer serverConn.Close()
+	defer clientConn.Close()
+	go func() { _ = serverConn.Send([]byte{1, 2, 3}) }()
+	_, err := simclient.RunEpisode(clientConn, &simclient.AutopilotDriver{
+		Fn: func(*proto.SensorFrame) physics.Control { return physics.Control{} },
+	})
+	if err == nil {
+		t.Error("garbage message did not error")
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats implements the summary statistics AVFI reports for
+// fault-injection campaigns: means, variances, percentiles, five-number
+// summaries for the paper's box plots (Figures 2–4), histograms, and
+// bootstrap confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/avfi/avfi/internal/rng"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between order statistics. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo < 0 {
+		lo, hi = 0, 0
+	}
+	if hi >= len(sorted) {
+		lo, hi = len(sorted)-1, len(sorted)-1
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// FiveNum is the five-number summary used to draw the paper's box plots.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summary computes the five-number summary of xs.
+func Summary(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		return FiveNum{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return FiveNum{
+		Min:    sorted[0],
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary as a compact boxplot row.
+func (f FiveNum) String() string {
+	return fmt.Sprintf("min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f",
+		f.Min, f.Q1, f.Median, f.Q3, f.Max)
+}
+
+// IQR returns the interquartile range.
+func (f FiveNum) IQR() float64 { return f.Q3 - f.Q1 }
+
+// Histogram bins xs into n equal-width buckets over [lo, hi]. Values outside
+// the range clamp to the end buckets (fault injectors can push metrics past
+// any fixed range; we still want them counted).
+func Histogram(xs []float64, lo, hi float64, n int) []int {
+	counts := make([]int, n)
+	if n == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// BootstrapCI returns the (1-alpha) bootstrap percentile confidence interval
+// for the mean of xs, using iters resamples drawn from r. It is
+// deterministic for a fixed stream.
+func BootstrapCI(xs []float64, alpha float64, iters int, r *rng.Stream) (lo, hi float64) {
+	if len(xs) == 0 || iters <= 0 {
+		return 0, 0
+	}
+	means := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	return percentileSorted(means, 100*alpha/2), percentileSorted(means, 100*(1-alpha/2))
+}
+
+// Welford accumulates running mean/variance without storing samples; the
+// campaign runner uses it for per-frame signals that would be too large to
+// retain.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased running variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

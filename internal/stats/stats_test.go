@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/avfi/avfi/internal/rng"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Sample variance of this set is 32/7.
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty moments not zero")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty order stats not zero")
+	}
+	if (Summary(nil) != FiveNum{}) {
+		t.Error("empty Summary not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if Min(xs) != -9 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 6 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-value percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s := Summary(xs)
+	if s.Min != 1 || s.Max != 9 || s.Median != 5 || s.Q1 != 3 || s.Q3 != 7 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.IQR() != 4 {
+		t.Errorf("IQR = %v", s.IQR())
+	}
+}
+
+func TestSummaryOrdering(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-100, 100)
+		}
+		s := Summary(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.5, 0.9, -5, 12}
+	h := Histogram(xs, 0, 1, 2)
+	// -5 clamps into bucket 0; 12 clamps into bucket 1.
+	if h[0] != 3 || h[1] != 3 {
+		t.Errorf("Histogram = %v, want [3 3]", h)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if h := Histogram([]float64{1, 2}, 5, 5, 3); h[0] != 0 || h[1] != 0 || h[2] != 0 {
+		t.Errorf("degenerate histogram = %v", h)
+	}
+	if h := Histogram([]float64{1}, 0, 1, 0); len(h) != 0 {
+		t.Errorf("zero-bucket histogram = %v", h)
+	}
+}
+
+func TestHistogramTotalCount(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-10, 10)
+		}
+		h := Histogram(xs, -10, 10, 7)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == n
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := rng.New(99)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormScaled(10, 2)
+	}
+	lo, hi := BootstrapCI(xs, 0.05, 500, rng.New(1))
+	if lo >= hi {
+		t.Fatalf("CI inverted: [%v, %v]", lo, hi)
+	}
+	m := Mean(xs)
+	if m < lo || m > hi {
+		t.Errorf("sample mean %v outside its own bootstrap CI [%v, %v]", m, lo, hi)
+	}
+	if hi-lo > 2 {
+		t.Errorf("CI suspiciously wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	lo1, hi1 := BootstrapCI(xs, 0.1, 200, rng.New(5))
+	lo2, hi2 := BootstrapCI(xs, 0.1, 200, rng.New(5))
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("BootstrapCI not deterministic for fixed stream")
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	lo, hi := BootstrapCI(nil, 0.05, 100, rng.New(1))
+	if lo != 0 || hi != 0 {
+		t.Error("empty BootstrapCI not zero")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.Range(-5, 5)
+		w.Add(xs[i])
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("Welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("Welford variance %v != batch %v", w.Variance(), Variance(xs))
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 {
+		t.Error("variance of empty Welford not 0")
+	}
+	w.Add(5)
+	if w.Variance() != 0 || w.Mean() != 5 {
+		t.Error("single-sample Welford wrong")
+	}
+}
+
+func TestMedianSortedInvariance(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(0, 1)
+		}
+		m1 := Median(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		m2 := Median(sorted)
+		return m1 == m2
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package tensor
+
+import "fmt"
+
+// Conv2DShape computes the output spatial dimensions of a 2D convolution
+// with the given input size, kernel, stride and padding.
+func Conv2DShape(h, w, kh, kw, stride, pad int) (oh, ow int) {
+	oh = (h+2*pad-kh)/stride + 1
+	ow = (w+2*pad-kw)/stride + 1
+	return oh, ow
+}
+
+// Im2Col unrolls an input image tensor of shape (C, H, W) into a matrix of
+// shape (OH*OW, C*KH*KW) whose rows are flattened receptive fields, so that
+// convolution becomes a single matmul with the (C*KH*KW, OutC) filter
+// matrix. Out-of-bounds (padding) samples read as zero.
+func Im2Col(img *Tensor, kh, kw, stride, pad int) (*Tensor, error) {
+	if img.Dims() != 3 {
+		return nil, fmt.Errorf("%w: im2col input %v, want (C,H,W)", ErrShape, img.Shape())
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	oh, ow := Conv2DShape(h, w, kh, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%w: im2col output %dx%d for input %v", ErrShape, oh, ow, img.Shape())
+	}
+	cols := New(oh*ow, c*kh*kw)
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			dst := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
+			di := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dst[di] = img.data[base+iy*w+ix]
+						}
+						di++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return cols, nil
+}
+
+// Col2Im scatters a (OH*OW, C*KH*KW) gradient matrix back into an image
+// gradient of shape (C, H, W) — the adjoint of Im2Col. Overlapping
+// receptive fields accumulate.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) (*Tensor, error) {
+	oh, ow := Conv2DShape(h, w, kh, kw, stride, pad)
+	if cols.Dims() != 2 || cols.Dim(0) != oh*ow || cols.Dim(1) != c*kh*kw {
+		return nil, fmt.Errorf("%w: col2im input %v, want (%d,%d)", ErrShape, cols.Shape(), oh*ow, c*kh*kw)
+	}
+	img := New(c, h, w)
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			src := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
+			si := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							img.data[base+iy*w+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return img, nil
+}
+
+// MaxPool2D applies max pooling with a square window and equal stride over a
+// (C, H, W) tensor. It returns the pooled tensor and the argmax indices
+// (into the input's flat storage) needed for backprop.
+func MaxPool2D(img *Tensor, size int) (out *Tensor, argmax []int, err error) {
+	if img.Dims() != 3 {
+		return nil, nil, fmt.Errorf("%w: maxpool input %v, want (C,H,W)", ErrShape, img.Shape())
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	oh, ow := h/size, w/size
+	if oh == 0 || ow == 0 {
+		return nil, nil, fmt.Errorf("%w: maxpool window %d too large for %v", ErrShape, size, img.Shape())
+	}
+	out = New(c, oh, ow)
+	argmax = make([]int, c*oh*ow)
+	oi := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := img.data[base+oy*size*w+ox*size]
+				bestIdx := base + oy*size*w + ox*size
+				for ky := 0; ky < size; ky++ {
+					for kx := 0; kx < size; kx++ {
+						idx := base + (oy*size+ky)*w + (ox*size + kx)
+						if v := img.data[idx]; v > best {
+							best, bestIdx = v, idx
+						}
+					}
+				}
+				out.data[oi] = best
+				argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+	return out, argmax, nil
+}
+
+// MaxPool2DBackward scatters the pooled gradient back through the argmax
+// indices into an input-shaped gradient.
+func MaxPool2DBackward(grad *Tensor, argmax []int, c, h, w int) (*Tensor, error) {
+	if grad.Len() != len(argmax) {
+		return nil, fmt.Errorf("%w: pool backward grad %v vs %d argmax", ErrShape, grad.Shape(), len(argmax))
+	}
+	out := New(c, h, w)
+	for i, idx := range argmax {
+		out.data[idx] += grad.data[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// wireTensor is the gob-encodable form; Tensor's fields are unexported to
+// keep the invariant len(data) == volume(shape), so encoding goes through
+// this mirror struct.
+type wireTensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tensor) GobEncode() ([]byte, error) {
+	var buf writerBuf
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(wireTensor{Shape: t.shape, Data: t.data}); err != nil {
+		return nil, fmt.Errorf("tensor: encode: %w", err)
+	}
+	return buf.b, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tensor) GobDecode(p []byte) error {
+	var w wireTensor
+	if err := gob.NewDecoder(&readerBuf{b: p}).Decode(&w); err != nil {
+		return fmt.Errorf("tensor: decode: %w", err)
+	}
+	n := 1
+	for _, d := range w.Shape {
+		if d < 0 {
+			return fmt.Errorf("%w: negative dim in decoded shape %v", ErrShape, w.Shape)
+		}
+		n *= d
+	}
+	if n != len(w.Data) {
+		return fmt.Errorf("%w: decoded %d values for shape %v", ErrShape, len(w.Data), w.Shape)
+	}
+	t.shape = w.Shape
+	t.data = w.Data
+	return nil
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type readerBuf struct {
+	b []byte
+	i int
+}
+
+func (r *readerBuf) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -1,0 +1,114 @@
+// Package trace records per-frame telemetry of an episode — the raw
+// material for the paper's "methods for statistical analysis of traffic
+// violations". A Recorder wraps any simclient.Driver and logs what the
+// agent saw and commanded each frame; traces export to CSV for offline
+// analysis (steering distributions under faults, control latency effects,
+// per-frame speed profiles).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/simclient"
+)
+
+// Row is one frame of telemetry.
+type Row struct {
+	Frame   int
+	TimeSec float64
+	// Sensor side (as the agent saw it, post-fault).
+	Speed      float64
+	GPSX, GPSY float64
+	Command    uint8
+	// Actuation side (as delivered to the simulator).
+	Steer    float64
+	Throttle float64
+	Brake    float64
+}
+
+// Recorder wraps a Driver and accumulates rows. Not safe for concurrent
+// use; record one episode per Recorder.
+type Recorder struct {
+	inner simclient.Driver
+	rows  []Row
+}
+
+var _ simclient.Driver = (*Recorder)(nil)
+
+// New wraps a driver.
+func New(inner simclient.Driver) *Recorder { return &Recorder{inner: inner} }
+
+// Reset implements simclient.Driver; it clears the trace.
+func (r *Recorder) Reset() {
+	r.rows = r.rows[:0]
+	r.inner.Reset()
+}
+
+// Drive implements simclient.Driver.
+func (r *Recorder) Drive(frame *proto.SensorFrame) (physics.Control, error) {
+	ctl, err := r.inner.Drive(frame)
+	if err != nil {
+		return ctl, err
+	}
+	r.rows = append(r.rows, Row{
+		Frame:    int(frame.Frame),
+		TimeSec:  frame.TimeSec,
+		Speed:    frame.Speed,
+		GPSX:     frame.GPSX,
+		GPSY:     frame.GPSY,
+		Command:  frame.Command,
+		Steer:    ctl.Steer,
+		Throttle: ctl.Throttle,
+		Brake:    ctl.Brake,
+	})
+	return ctl, nil
+}
+
+// Rows returns the recorded telemetry (shared slice; copy before mutating).
+func (r *Recorder) Rows() []Row { return r.rows }
+
+// WriteCSV emits the trace with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"frame", "time_s", "speed", "gps_x", "gps_y", "command",
+		"steer", "throttle", "brake",
+	}); err != nil {
+		return fmt.Errorf("trace: csv: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'f', 4, 64) }
+	for _, row := range r.rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.Frame), f(row.TimeSec), f(row.Speed),
+			f(row.GPSX), f(row.GPSY), strconv.Itoa(int(row.Command)),
+			f(row.Steer), f(row.Throttle), f(row.Brake),
+		}); err != nil {
+			return fmt.Errorf("trace: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SteerStats summarizes the steering signal — a quick fault signature
+// (faults typically inflate steering variance well before a violation).
+func (r *Recorder) SteerStats() (mean, variance float64) {
+	if len(r.rows) == 0 {
+		return 0, 0
+	}
+	for _, row := range r.rows {
+		mean += row.Steer
+	}
+	mean /= float64(len(r.rows))
+	for _, row := range r.rows {
+		d := row.Steer - mean
+		variance += d * d
+	}
+	variance /= float64(len(r.rows))
+	return mean, variance
+}

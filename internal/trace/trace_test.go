@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/proto"
+)
+
+// scripted is a Driver returning preset controls.
+type scripted struct {
+	steers []float64
+	i      int
+	resets int
+}
+
+func (s *scripted) Reset() { s.resets++; s.i = 0 }
+func (s *scripted) Drive(f *proto.SensorFrame) (physics.Control, error) {
+	steer := s.steers[s.i%len(s.steers)]
+	s.i++
+	return physics.Control{Steer: steer, Throttle: 0.5}, nil
+}
+
+func frame(n uint32, speed float64) *proto.SensorFrame {
+	return &proto.SensorFrame{Frame: n, TimeSec: float64(n) / 15, Speed: speed, Command: 1}
+}
+
+func TestRecorderCapturesRows(t *testing.T) {
+	r := New(&scripted{steers: []float64{0.1, -0.2, 0.3}})
+	r.Reset()
+	for i := uint32(0); i < 3; i++ {
+		if _, err := r.Drive(frame(i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := r.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Steer != -0.2 || rows[1].Frame != 1 || rows[1].Speed != 1 {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+}
+
+func TestRecorderResetClears(t *testing.T) {
+	inner := &scripted{steers: []float64{0.5}}
+	r := New(inner)
+	r.Reset()
+	_, _ = r.Drive(frame(0, 0))
+	r.Reset()
+	if len(r.Rows()) != 0 {
+		t.Error("Reset kept old rows")
+	}
+	if inner.resets != 2 {
+		t.Errorf("inner resets = %d", inner.resets)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New(&scripted{steers: []float64{0.25}})
+	r.Reset()
+	_, _ = r.Drive(frame(0, 5))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "frame,time_s") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.2500") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestSteerStats(t *testing.T) {
+	r := New(&scripted{steers: []float64{1, -1}})
+	r.Reset()
+	for i := uint32(0); i < 10; i++ {
+		_, _ = r.Drive(frame(i, 0))
+	}
+	mean, variance := r.SteerStats()
+	if mean != 0 {
+		t.Errorf("mean = %v", mean)
+	}
+	if variance != 1 {
+		t.Errorf("variance = %v", variance)
+	}
+	empty := New(&scripted{steers: []float64{0}})
+	if m, v := empty.SteerStats(); m != 0 || v != 0 {
+		t.Error("empty stats not zero")
+	}
+}

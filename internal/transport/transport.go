@@ -1,0 +1,198 @@
+// Package transport carries encoded proto messages between the simulator
+// server and the agent client. Two implementations share one framing
+// format: an in-process pipe (fast, used by test and campaign loops) and
+// real TCP (the paper's CARLA deployment shape). Because both carry the
+// same frames, the timing-fault injector behaves identically on either —
+// a property the integration tests assert.
+//
+// Framing: a 4-byte big-endian length prefix, then the message bytes.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds one framed message (must cover an encoded camera frame).
+const MaxFrame = 4 << 20
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a bidirectional, ordered message stream.
+type Conn interface {
+	// Send writes one message.
+	Send(msg []byte) error
+	// Recv reads the next message, blocking until one arrives or the
+	// connection closes.
+	Recv() ([]byte, error)
+	// Close releases the connection; pending Recv calls fail.
+	Close() error
+}
+
+// --- In-process pipe ---
+
+// pipeConn is one end of an in-process duplex channel pair.
+type pipeConn struct {
+	send chan<- []byte
+	recv <-chan []byte
+
+	mu     sync.Mutex
+	closed chan struct{}
+	once   sync.Once
+	peer   *pipeConn
+}
+
+var _ Conn = (*pipeConn)(nil)
+
+// Pipe returns two connected in-process ends. Messages are copied on Send,
+// so callers may reuse buffers.
+func Pipe() (Conn, Conn) {
+	// Buffered one deep: the simulator loop is strictly request/response,
+	// and a single slot avoids goroutine handoff stalls.
+	ab := make(chan []byte, 1)
+	ba := make(chan []byte, 1)
+	a := &pipeConn{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &pipeConn{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn.
+func (c *pipeConn) Send(msg []byte) error {
+	cp := append([]byte(nil), msg...)
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	case c.send <- cp:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *pipeConn) Recv() ([]byte, error) {
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	case <-c.closed:
+		return nil, ErrClosed
+	case <-c.peer.closed:
+		// Drain anything the peer sent before closing.
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *pipeConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// --- TCP ---
+
+// tcpConn frames messages over a net.Conn.
+type tcpConn struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+// NewTCPConn wraps an established net.Conn.
+func NewTCPConn(c net.Conn) Conn { return &tcpConn{conn: c} }
+
+// Dial connects to a listening server.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(c), nil
+}
+
+// Listener accepts framed connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener; addr may be ":0" for an ephemeral port.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewTCPConn(c), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Send implements Conn.
+func (t *tcpConn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("transport: frame %d exceeds max %d", len(msg), MaxFrame)
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := t.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := t.conn.Write(msg); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame %d exceeds max %d", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, buf); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	return buf, nil
+}
+
+// Close implements Conn.
+func (t *tcpConn) Close() error { return t.conn.Close() }

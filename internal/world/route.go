@@ -1,0 +1,292 @@
+package world
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/avfi/avfi/internal/geom"
+)
+
+// TurnKind is the high-level navigation command the driving agent is
+// conditioned on — the "conditional" in conditional imitation learning
+// (Codevilla et al.), which the paper's ADA uses.
+type TurnKind int
+
+// Turn kinds. Enums start at one so the zero value is invalid (catching
+// uninitialized commands in tests).
+const (
+	TurnInvalid TurnKind = iota
+	// TurnFollow means no junction decision is pending: follow the lane.
+	TurnFollow
+	// TurnLeft, TurnRight, TurnStraight are pending junction decisions.
+	TurnLeft
+	TurnRight
+	TurnStraight
+)
+
+// String implements fmt.Stringer.
+func (t TurnKind) String() string {
+	switch t {
+	case TurnFollow:
+		return "follow"
+	case TurnLeft:
+		return "left"
+	case TurnRight:
+		return "right"
+	case TurnStraight:
+		return "straight"
+	default:
+		return "invalid"
+	}
+}
+
+// Route is a planned path through the network: the node sequence plus a
+// dense polyline of lane-center waypoints (offset to the right-hand driving
+// lane) with cumulative arc length for fast projection queries.
+type Route struct {
+	NodeIDs   []NodeID
+	Waypoints []geom.Vec
+	// turnAt[i] is the turn geometry at inner node i+1 of the node path.
+	turns   []routeTurn
+	cumDist []float64
+	length  float64
+}
+
+type routeTurn struct {
+	// s is the arc length along the route at which the junction sits.
+	s    float64
+	kind TurnKind
+}
+
+// waypointSpacing is the nominal distance between consecutive route
+// waypoints, in meters.
+const waypointSpacing = 2.0
+
+// PlanRoute finds the shortest path from one intersection to another with
+// uniform-cost search (Dijkstra; edge cost = Euclidean length) and expands
+// it into lane-center waypoints.
+func (n *Network) PlanRoute(from, to NodeID) (*Route, error) {
+	if int(from) >= len(n.nodes) || int(to) >= len(n.nodes) || from < 0 || to < 0 {
+		return nil, fmt.Errorf("world: plan route %d->%d: node out of range", from, to)
+	}
+	if from == to {
+		return nil, fmt.Errorf("world: plan route %d->%d: identical endpoints", from, to)
+	}
+
+	dist := make(map[NodeID]float64, len(n.nodes))
+	prev := make(map[NodeID]NodeID, len(n.nodes))
+	pq := &nodeHeap{{id: from, cost: 0}}
+	dist[from] = 0
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeItem)
+		if cur.id == to {
+			break
+		}
+		if cur.cost > dist[cur.id] {
+			continue
+		}
+		for _, nb := range n.adj[cur.id] {
+			c := cur.cost + n.nodes[cur.id].Pos.Dist(n.nodes[nb].Pos)
+			if old, ok := dist[nb]; !ok || c < old {
+				dist[nb] = c
+				prev[nb] = cur.id
+				heap.Push(pq, nodeItem{id: nb, cost: c})
+			}
+		}
+	}
+	if _, ok := dist[to]; !ok {
+		return nil, fmt.Errorf("world: no route from %d to %d", from, to)
+	}
+
+	// Reconstruct the node path.
+	var path []NodeID
+	for cur := to; ; {
+		path = append(path, cur)
+		if cur == from {
+			break
+		}
+		cur = prev[cur]
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return n.expandRoute(path)
+}
+
+// expandRoute converts a node path into dense right-lane waypoints. Segments
+// are trimmed near junctions by the road half-width so corner waypoints do
+// not overlap, and each pair of trimmed ends is joined across the junction.
+func (n *Network) expandRoute(path []NodeID) (*Route, error) {
+	if len(path) < 2 {
+		return nil, fmt.Errorf("world: route needs >= 2 nodes")
+	}
+	r := &Route{NodeIDs: append([]NodeID(nil), path...)}
+	trim := n.RoadHalfWidth()
+
+	for i := 0; i+1 < len(path); i++ {
+		a := n.nodes[path[i]].Pos
+		b := n.nodes[path[i+1]].Pos
+		d := b.Sub(a)
+		segLen := d.Len()
+		dir := d.Norm()
+		right := dir.Perp().Scale(-1)
+		off := right.Scale(n.LaneWidth / 2)
+
+		start, end := 0.0, segLen
+		if i > 0 {
+			start = trim
+		}
+		if i+1 < len(path)-1 {
+			end = segLen - trim
+		}
+		if end <= start {
+			// Degenerate short block: keep midpoint so the polyline stays monotone.
+			mid := a.Add(dir.Scale(segLen / 2)).Add(off)
+			r.Waypoints = append(r.Waypoints, mid)
+			continue
+		}
+		steps := int(math.Max(1, math.Ceil((end-start)/waypointSpacing)))
+		for s := 0; s <= steps; s++ {
+			t := start + (end-start)*float64(s)/float64(steps)
+			r.Waypoints = append(r.Waypoints, a.Add(dir.Scale(t)).Add(off))
+		}
+	}
+
+	// Cumulative arc length.
+	r.cumDist = make([]float64, len(r.Waypoints))
+	for i := 1; i < len(r.Waypoints); i++ {
+		r.cumDist[i] = r.cumDist[i-1] + r.Waypoints[i].Dist(r.Waypoints[i-1])
+	}
+	r.length = r.cumDist[len(r.cumDist)-1]
+
+	// Classify the turn at each inner node.
+	for i := 1; i+1 < len(path); i++ {
+		inDir := n.nodes[path[i]].Pos.Sub(n.nodes[path[i-1]].Pos).Angle()
+		outDir := n.nodes[path[i+1]].Pos.Sub(n.nodes[path[i]].Pos).Angle()
+		delta := geom.AngleDiff(inDir, outDir)
+		kind := TurnStraight
+		switch {
+		case delta > math.Pi/6:
+			kind = TurnLeft
+		case delta < -math.Pi/6:
+			kind = TurnRight
+		}
+		// Arc length at the junction = projection of the node onto the route.
+		s, _, _ := r.Project(n.nodes[path[i]].Pos)
+		r.turns = append(r.turns, routeTurn{s: s, kind: kind})
+	}
+	return r, nil
+}
+
+// Length returns the route's total arc length in meters.
+func (r *Route) Length() float64 { return r.length }
+
+// Start returns the first waypoint and initial heading.
+func (r *Route) Start() geom.Pose {
+	h := r.Waypoints[1].Sub(r.Waypoints[0]).Angle()
+	return geom.Pose{Pos: r.Waypoints[0], Heading: h}
+}
+
+// Goal returns the final waypoint.
+func (r *Route) Goal() geom.Vec { return r.Waypoints[len(r.Waypoints)-1] }
+
+// Project returns the arc length s of the closest point on the route to
+// pos, the signed lateral offset (positive = left of the travel direction),
+// and the index of the closest polyline segment.
+func (r *Route) Project(pos geom.Vec) (s, lateral float64, segIdx int) {
+	best := math.MaxFloat64
+	bestT := 0.0
+	for i := 0; i+1 < len(r.Waypoints); i++ {
+		seg := geom.Seg(r.Waypoints[i], r.Waypoints[i+1])
+		t, closest := seg.Project(pos)
+		if d := closest.DistSq(pos); d < best {
+			best = d
+			segIdx = i
+			bestT = t
+		}
+	}
+	seg := geom.Seg(r.Waypoints[segIdx], r.Waypoints[segIdx+1])
+	s = r.cumDist[segIdx] + bestT*seg.Len()
+	// Signed lateral: positive when pos is left of the segment direction.
+	side := seg.Dir().Cross(pos.Sub(seg.A))
+	lateral = side
+	return s, lateral, segIdx
+}
+
+// PointAt returns the waypoint-interpolated position at arc length s,
+// clamped to the route.
+func (r *Route) PointAt(s float64) geom.Vec {
+	if s <= 0 {
+		return r.Waypoints[0]
+	}
+	if s >= r.length {
+		return r.Goal()
+	}
+	i := r.searchSeg(s)
+	segStart := r.cumDist[i]
+	seg := geom.Seg(r.Waypoints[i], r.Waypoints[i+1])
+	l := seg.Len()
+	if l == 0 {
+		return seg.A
+	}
+	return seg.At((s - segStart) / l)
+}
+
+// HeadingAt returns the path heading at arc length s.
+func (r *Route) HeadingAt(s float64) float64 {
+	i := r.searchSeg(geom.Clamp(s, 0, r.length))
+	return r.Waypoints[i+1].Sub(r.Waypoints[i]).Angle()
+}
+
+// searchSeg returns the polyline segment index containing arc length s by
+// binary search over cumDist.
+func (r *Route) searchSeg(s float64) int {
+	lo, hi := 0, len(r.cumDist)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.cumDist[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Command returns the conditional-IL navigation command for a vehicle at
+// arc length s: the turn kind of the next junction within lookahead meters,
+// or TurnFollow when none is pending.
+func (r *Route) Command(s, lookahead float64) TurnKind {
+	for _, t := range r.turns {
+		if t.s >= s-2 && t.s <= s+lookahead {
+			return t.kind
+		}
+	}
+	return TurnFollow
+}
+
+// RemainingAt returns the arc length left to the goal from arc length s.
+func (r *Route) RemainingAt(s float64) float64 {
+	return math.Max(0, r.length-s)
+}
+
+// nodeHeap is the priority queue for Dijkstra.
+type nodeItem struct {
+	id   NodeID
+	cost float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,411 @@
+package world
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/avfi/avfi/internal/geom"
+	"github.com/avfi/avfi/internal/rng"
+)
+
+func testTown(t *testing.T, seed uint64) *Town {
+	t.Helper()
+	town, err := GenerateTown(DefaultTownConfig(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return town
+}
+
+func TestGenerateTownValid(t *testing.T) {
+	town := testTown(t, 1)
+	if town.Net.NodeCount() != 16 {
+		t.Errorf("node count = %d, want 16", town.Net.NodeCount())
+	}
+	if town.Net.EdgeCount() < 15 {
+		t.Errorf("edge count = %d, want >= 15 (spanning tree)", town.Net.EdgeCount())
+	}
+	if err := town.Net.Validate(); err != nil {
+		t.Errorf("network invalid: %v", err)
+	}
+	if len(town.Spawns) == 0 {
+		t.Error("no spawn points")
+	}
+	if len(town.Buildings) == 0 {
+		t.Error("no buildings")
+	}
+}
+
+func TestGenerateTownDeterministic(t *testing.T) {
+	a := testTown(t, 7)
+	b := testTown(t, 7)
+	if a.Net.EdgeCount() != b.Net.EdgeCount() || len(a.Buildings) != len(b.Buildings) {
+		t.Fatal("same seed produced different towns")
+	}
+	for i := range a.Buildings {
+		if a.Buildings[i].Box != b.Buildings[i].Box {
+			t.Fatal("building layout differs for same seed")
+		}
+	}
+}
+
+func TestGenerateTownSeedsDiffer(t *testing.T) {
+	a := testTown(t, 1)
+	b := testTown(t, 2)
+	if a.Net.EdgeCount() == b.Net.EdgeCount() && len(a.Buildings) == len(b.Buildings) {
+		// Same coarse stats are possible; compare layout.
+		same := len(a.Buildings) > 0
+		for i := range a.Buildings {
+			if a.Buildings[i].Box != b.Buildings[i].Box {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical towns")
+		}
+	}
+}
+
+func TestTownConfigValidate(t *testing.T) {
+	bad := []TownConfig{
+		{GridW: 1, GridH: 4, Spacing: 90, LaneWidth: 3.5},
+		{GridW: 4, GridH: 4, Spacing: 5, LaneWidth: 3.5},
+		{GridW: 4, GridH: 4, Spacing: 90, LaneWidth: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d did not error", i)
+		}
+	}
+	if err := DefaultTownConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestNetworkConnectivityProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		town, err := GenerateTown(DefaultTownConfig(), rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return town.Net.Validate() == nil
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanRouteShortest(t *testing.T) {
+	// Hand-built 2x2 grid: route 0 -> 3 has two equal paths of 2 edges.
+	net := NewNetwork(3.5, 2)
+	n00 := net.AddNode(geom.V(0, 0))
+	n10 := net.AddNode(geom.V(100, 0))
+	n01 := net.AddNode(geom.V(0, 100))
+	n11 := net.AddNode(geom.V(100, 100))
+	net.AddEdge(n00, n10)
+	net.AddEdge(n00, n01)
+	net.AddEdge(n10, n11)
+	net.AddEdge(n01, n11)
+
+	r, err := net.PlanRoute(n00, n11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.NodeIDs) != 3 {
+		t.Errorf("route nodes = %v, want 3 nodes", r.NodeIDs)
+	}
+	// Route length should be near 200 (two 100m blocks, lane offset aside).
+	if r.Length() < 150 || r.Length() > 250 {
+		t.Errorf("route length = %v", r.Length())
+	}
+}
+
+func TestPlanRouteErrors(t *testing.T) {
+	net := NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(100, 0))
+	net.AddEdge(a, b)
+	if _, err := net.PlanRoute(a, a); err == nil {
+		t.Error("same-node route did not error")
+	}
+	if _, err := net.PlanRoute(a, NodeID(99)); err == nil {
+		t.Error("out-of-range route did not error")
+	}
+	c := net.AddNode(geom.V(500, 500)) // isolated
+	if _, err := net.PlanRoute(a, c); err == nil {
+		t.Error("unreachable route did not error")
+	}
+}
+
+func TestRouteWaypointsOnRightLane(t *testing.T) {
+	net := NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(100, 0))
+	net.AddEdge(a, b)
+	r, err := net.PlanRoute(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Driving +X, right-hand lane center is at y = -laneWidth/2.
+	for _, wp := range r.Waypoints {
+		if math.Abs(wp.Y-(-1.75)) > 1e-9 {
+			t.Fatalf("waypoint %v not on right lane center", wp)
+		}
+	}
+	// Reverse direction gets the opposite lane.
+	r2, err := net.PlanRoute(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wp := range r2.Waypoints {
+		if math.Abs(wp.Y-1.75) > 1e-9 {
+			t.Fatalf("reverse waypoint %v not on its right lane", wp)
+		}
+	}
+}
+
+func TestRouteProjectAndPointAt(t *testing.T) {
+	net := NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(100, 0))
+	net.AddEdge(a, b)
+	r, _ := net.PlanRoute(a, b)
+
+	// A point left of the lane center by 1m at x=50.
+	s, lat, _ := r.Project(geom.V(50, -0.75))
+	if math.Abs(s-50) > 1.5 {
+		t.Errorf("Project s = %v, want ~50", s)
+	}
+	if math.Abs(lat-1) > 1e-6 {
+		t.Errorf("Project lateral = %v, want 1 (left)", lat)
+	}
+
+	p := r.PointAt(s)
+	if math.Abs(p.X-50) > 1.5 || math.Abs(p.Y+1.75) > 1e-6 {
+		t.Errorf("PointAt = %v", p)
+	}
+	if h := r.HeadingAt(s); math.Abs(h) > 1e-9 {
+		t.Errorf("HeadingAt = %v, want 0", h)
+	}
+}
+
+func TestRouteProjectRoundTripProperty(t *testing.T) {
+	town := testTown(t, 3)
+	from, to, err := town.RandomMission(rng.New(4), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := town.Net.PlanRoute(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(frac float64) bool {
+		if math.IsNaN(frac) || math.IsInf(frac, 0) {
+			frac = 0.5
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		s := frac * route.Length()
+		p := route.PointAt(s)
+		s2, lat, _ := route.Project(p)
+		// Projecting a point on the route must give ~zero lateral and ~same s.
+		return math.Abs(lat) < 0.5 && math.Abs(s2-s) < 3
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteCommandTurns(t *testing.T) {
+	// L-shaped route: +X then +Y is a left turn.
+	net := NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(100, 0))
+	c := net.AddNode(geom.V(100, 100))
+	net.AddEdge(a, b)
+	net.AddEdge(b, c)
+	r, err := net.PlanRoute(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Command(0, 20); got != TurnFollow {
+		t.Errorf("command far from junction = %v, want follow", got)
+	}
+	if got := r.Command(85, 30); got != TurnLeft {
+		t.Errorf("command near junction = %v, want left", got)
+	}
+	// Right turn: +X then -Y.
+	d := net.AddNode(geom.V(200, 0))
+	e := net.AddNode(geom.V(200, -100))
+	net.AddEdge(b, d)
+	net.AddEdge(d, e)
+	r2, err := net.PlanRoute(a, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRight := false
+	for s := 0.0; s < r2.Length(); s += 5 {
+		if r2.Command(s, 30) == TurnRight {
+			sawRight = true
+		}
+	}
+	if !sawRight {
+		t.Error("right turn never commanded along +X/-Y route")
+	}
+}
+
+func TestTurnKindString(t *testing.T) {
+	cases := map[TurnKind]string{
+		TurnFollow: "follow", TurnLeft: "left", TurnRight: "right",
+		TurnStraight: "straight", TurnInvalid: "invalid",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestOnRoad(t *testing.T) {
+	net := NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(100, 0))
+	net.AddEdge(a, b)
+
+	if !net.OnRoad(geom.V(50, 0)) {
+		t.Error("centerline not on road")
+	}
+	if !net.OnRoad(geom.V(50, 3.4)) {
+		t.Error("lane edge not on road")
+	}
+	if net.OnRoad(geom.V(50, 4.5)) {
+		t.Error("sidewalk on road")
+	}
+	if net.OnRoad(geom.V(50, 50)) {
+		t.Error("field on road")
+	}
+}
+
+func TestNearestRoad(t *testing.T) {
+	net := NewNetwork(3.5, 2)
+	if _, _, ok := net.NearestRoad(geom.V(0, 0)); ok {
+		t.Error("empty network returned a road")
+	}
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(100, 0))
+	net.AddEdge(a, b)
+	_, d, ok := net.NearestRoad(geom.V(50, 7))
+	if !ok || math.Abs(d-7) > 1e-9 {
+		t.Errorf("NearestRoad dist = %v, %v", d, ok)
+	}
+}
+
+func TestRandomMissionRespectsMinDist(t *testing.T) {
+	town := testTown(t, 5)
+	r := rng.New(6)
+	for i := 0; i < 20; i++ {
+		from, to, err := town.RandomMission(r, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := town.Net.Node(from).Pos.Dist(town.Net.Node(to).Pos); d < 150 {
+			t.Errorf("mission distance %v < 150", d)
+		}
+	}
+}
+
+func TestCollidesBuilding(t *testing.T) {
+	town := &Town{
+		Net: NewNetwork(3.5, 2),
+		Buildings: []Building{
+			{Box: geom.NewAABB(geom.V(10, 10), geom.V(20, 20)), Height: 10},
+		},
+	}
+	inside := geom.NewOBB(geom.P(15, 15, 0.3), 4, 2)
+	if !town.CollidesBuilding(inside) {
+		t.Error("OBB inside building not colliding")
+	}
+	outside := geom.NewOBB(geom.P(30, 30, 0.3), 4, 2)
+	if town.CollidesBuilding(outside) {
+		t.Error("distant OBB colliding")
+	}
+	touching := geom.NewOBB(geom.P(22, 15, 0), 4.2, 2)
+	if !town.CollidesBuilding(touching) {
+		t.Error("overlapping OBB not colliding")
+	}
+}
+
+func TestRaycastBuildings(t *testing.T) {
+	town := &Town{
+		Buildings: []Building{
+			{Box: geom.NewAABB(geom.V(10, -5), geom.V(20, 5)), Height: 12, Shade: 0.5},
+			{Box: geom.NewAABB(geom.V(40, -5), geom.V(50, 5)), Height: 8, Shade: 0.7},
+		},
+	}
+	ray := geom.NewRay(geom.V(0, 0), geom.V(1, 0))
+	d, b, ok := town.RaycastBuildings(ray, 100)
+	if !ok || math.Abs(d-10) > 1e-9 || b.Height != 12 {
+		t.Errorf("raycast = %v, %+v, %v; want 10m to first building", d, b, ok)
+	}
+	// Max distance short of any building.
+	if _, _, ok := town.RaycastBuildings(ray, 5); ok {
+		t.Error("raycast beyond maxDist reported hit")
+	}
+	// Ray pointing away.
+	away := geom.NewRay(geom.V(0, 0), geom.V(-1, 0))
+	if _, _, ok := town.RaycastBuildings(away, 100); ok {
+		t.Error("ray pointing away reported hit")
+	}
+}
+
+func TestSpawnsAreOnRoad(t *testing.T) {
+	town := testTown(t, 8)
+	for i, s := range town.Spawns {
+		if !town.Net.OnRoad(s.Pos) {
+			t.Errorf("spawn %d at %v is off-road", i, s.Pos)
+		}
+	}
+}
+
+func TestNearestSpawn(t *testing.T) {
+	town := testTown(t, 9)
+	p := town.Spawns[0].Pos
+	got, err := town.NearestSpawn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos.Dist(p) > 1e-9 {
+		t.Error("NearestSpawn of a spawn point is not itself")
+	}
+	empty := &Town{}
+	if _, err := empty.NearestSpawn(p); err == nil {
+		t.Error("empty town NearestSpawn did not error")
+	}
+}
+
+func TestRemainingAt(t *testing.T) {
+	net := NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(100, 0))
+	net.AddEdge(a, b)
+	r, _ := net.PlanRoute(a, b)
+	if rem := r.RemainingAt(0); math.Abs(rem-r.Length()) > 1e-9 {
+		t.Errorf("RemainingAt(0) = %v", rem)
+	}
+	if rem := r.RemainingAt(r.Length() + 10); rem != 0 {
+		t.Errorf("RemainingAt past end = %v", rem)
+	}
+}
+
+func TestRouteStartHeading(t *testing.T) {
+	net := NewNetwork(3.5, 2)
+	a := net.AddNode(geom.V(0, 0))
+	b := net.AddNode(geom.V(0, 100)) // north
+	net.AddEdge(a, b)
+	r, _ := net.PlanRoute(a, b)
+	start := r.Start()
+	if math.Abs(start.Heading-math.Pi/2) > 1e-9 {
+		t.Errorf("start heading = %v, want pi/2", start.Heading)
+	}
+}
