@@ -14,7 +14,13 @@
 //   - four classes of fault injectors — data (camera/GPS/speed), hardware
 //     (bit flips, stuck-at), timing (delay/drop/reorder on the control
 //     path) and machine-learning (weight noise and bit flips);
-//   - campaign orchestration with the paper's resilience metrics: Mission
+//   - a persistent, session-multiplexed simulation engine: every campaign
+//     runs over exactly one server connection (and, over TCP, one
+//     listener), with concurrent episodes interleaved as protocol sessions
+//     rather than one transport per episode;
+//   - campaign orchestration over either the classic flat injector sweep or
+//     a ScenarioMatrix (weather x traffic density x AEB x windowed fault
+//     activation x injector), with the paper's resilience metrics: Mission
 //     Success Rate, Traffic Violations per KM, Accidents per KM, and Time
 //     to Traffic Violation.
 //
@@ -33,6 +39,23 @@
 //	// ...
 //	results, err := runner.Run()
 //	avfi.PrintTable(os.Stdout, "input faults", results.Reports)
+//
+// # Scenario matrices
+//
+// Replace CampaignConfig.Injectors with a Matrix to sweep a combinatorial
+// scenario space; every cell becomes one report column:
+//
+//	cfg.Injectors = nil
+//	cfg.Matrix = &avfi.ScenarioMatrix{
+//		Weathers:  []avfi.Weather{avfi.WeatherClear, avfi.WeatherRain},
+//		Densities: []avfi.Density{{}, {NPCs: 8, Pedestrians: 4}},
+//		AEB:       []bool{false, true},
+//		Injectors: avfi.InputFaultSuite(),
+//	}
+//
+// Campaigns remain a pure function of their configuration: all mission,
+// episode and injector randomness derives from Config.Seed, so results
+// reproduce bit-identically run to run.
 //
 // The types below are aliases of the implementation packages, so values
 // returned here interoperate with the whole library surface.
@@ -72,6 +95,14 @@ type (
 	Runner = campaign.Runner
 	// ResultSet is a finished campaign.
 	ResultSet = campaign.ResultSet
+	// ScenarioMatrix sweeps weather x density x AEB x activation x injector.
+	ScenarioMatrix = campaign.ScenarioMatrix
+	// ScenarioCell is one resolved point of a scenario matrix.
+	ScenarioCell = campaign.ScenarioCell
+	// Density is one traffic-population level of a scenario matrix.
+	Density = campaign.Density
+	// EngineStats describes the persistent engine's work for one campaign.
+	EngineStats = campaign.EngineStats
 )
 
 // Metrics.

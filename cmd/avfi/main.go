@@ -5,6 +5,13 @@
 //	avfi -injectors noinject,gaussian,outputdelay -missions 6 -reps 2
 //	avfi -injectors all -records-csv records.csv -reports-csv reports.csv
 //	avfi -agent model.avfi -tcp -seed 7
+//	avfi -matrix -weathers clear,rain -densities 0x0,8x4 -aeb both
+//
+// With -matrix, the flat (injector x mission x repetition) grid becomes a
+// scenario matrix: every combination of -weathers, -densities, -aeb,
+// -activations and -injectors is swept as its own campaign column. All
+// episodes ride the persistent session-multiplexed engine — one connection
+// (and, with -tcp, one listener) for the entire campaign.
 //
 // Without -agent, the driving agent is trained in-process from the oracle
 // autopilot first (about a minute); save one with avfi-train to skip that.
@@ -35,6 +42,11 @@ func run() error {
 		npcs       = flag.Int("npcs", 0, "NPC vehicles per episode")
 		peds       = flag.Int("peds", 0, "pedestrians per episode")
 		weather    = flag.String("weather", "clear", "weather: clear|rain|fog")
+		matrix     = flag.Bool("matrix", false, "sweep a scenario matrix instead of the flat injector grid")
+		weathers   = flag.String("weathers", "clear", "matrix weather levels, comma-separated")
+		densities  = flag.String("densities", "0x0", "matrix traffic densities as NPCSxPEDS pairs, e.g. 0x0,8x4")
+		aebMode    = flag.String("aeb", "off", "matrix AEB levels: off|on|both")
+		activation = flag.String("activations", "0", "matrix fault-activation frames, comma-separated")
 		useTCP     = flag.Bool("tcp", false, "run episodes over loopback TCP instead of in-process pipes")
 		seed       = flag.Uint64("seed", 1, "campaign seed (results are a pure function of it)")
 		agentPath  = flag.String("agent", "", "load a trained agent from this file (default: train in-process)")
@@ -89,16 +101,28 @@ func run() error {
 		Parallelism:    *parallel,
 		Seed:           *seed,
 	}
+	columns := len(sources)
+	if *matrix {
+		m, err := parseMatrix(sources, *weathers, *densities, *aebMode, *activation)
+		if err != nil {
+			return err
+		}
+		cfg.Injectors = nil
+		cfg.Matrix = m
+		columns = m.Size()
+	}
 	runner, err := avfi.NewCampaign(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "running %d injectors x %d missions x %d reps...\n",
-		len(sources), *missions, *reps)
+	fmt.Fprintf(os.Stderr, "running %d scenario columns x %d missions x %d reps...\n",
+		columns, *missions, *reps)
 	rs, err := runner.Run()
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "engine: %d episodes over one %s connection, up to %d multiplexed\n",
+		rs.Engine.Episodes, rs.Engine.Transport, rs.Engine.MaxConcurrentSessions)
 
 	avfi.PrintTable(os.Stdout, fmt.Sprintf("AVFI campaign (seed %d)", *seed), rs.Reports)
 
@@ -124,6 +148,43 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// parseMatrix assembles the -matrix scenario space from its flag values.
+func parseMatrix(sources []avfi.InjectorSource, weathers, densities, aebMode, activations string) (*avfi.ScenarioMatrix, error) {
+	m := &avfi.ScenarioMatrix{Injectors: sources}
+	for _, s := range strings.Split(weathers, ",") {
+		w, err := parseWeather(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		m.Weathers = append(m.Weathers, w)
+	}
+	for _, s := range strings.Split(densities, ",") {
+		var d avfi.Density
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%dx%d", &d.NPCs, &d.Pedestrians); err != nil {
+			return nil, fmt.Errorf("bad density %q (want NPCSxPEDS, e.g. 8x4)", s)
+		}
+		m.Densities = append(m.Densities, d)
+	}
+	switch aebMode {
+	case "off":
+		m.AEB = []bool{false}
+	case "on":
+		m.AEB = []bool{true}
+	case "both":
+		m.AEB = []bool{false, true}
+	default:
+		return nil, fmt.Errorf("bad -aeb %q (want off|on|both)", aebMode)
+	}
+	for _, s := range strings.Split(activations, ",") {
+		var frame int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &frame); err != nil {
+			return nil, fmt.Errorf("bad activation frame %q", s)
+		}
+		m.ActivationFrames = append(m.ActivationFrames, frame)
+	}
+	return m, nil
 }
 
 func parseWeather(s string) (avfi.Weather, error) {

@@ -1,0 +1,3 @@
+module github.com/avfi/avfi
+
+go 1.24

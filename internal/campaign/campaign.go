@@ -1,11 +1,16 @@
-// Package campaign orchestrates AVFI fault-injection campaigns: it sweeps
-// injectors over navigation missions and repetitions, runs each episode
-// through the client/server protocol with the fault pipeline installed,
-// and aggregates the paper's resilience metrics per injector.
+// Package campaign orchestrates AVFI fault-injection campaigns on a
+// persistent, session-multiplexed simulation engine: one simserver.Server
+// and one simclient.Client share a single transport.Conn (and, over TCP, a
+// single listener) for the whole campaign, and a worker pool opens episodes
+// as protocol sessions — episode dispatch is O(1) in connections, the
+// throughput shape thousands-of-episodes resilience sweeps need.
 //
-// A campaign is a pure function of its configuration: missions, episode
-// seeds and injector randomness all derive from Config.Seed, so every
-// figure in EXPERIMENTS.md regenerates bit-identically.
+// Scenarios come from either the classic flat grid (injectors x missions x
+// repetitions) or a ScenarioMatrix crossing weather, traffic density, AEB
+// and windowed fault activation with the injector columns. Either way a
+// campaign is a pure function of its configuration: missions, episode seeds
+// and injector randomness all derive from Config.Seed, so every figure in
+// EXPERIMENTS.md regenerates bit-identically.
 package campaign
 
 import (
@@ -18,6 +23,7 @@ import (
 	"github.com/avfi/avfi/internal/agent"
 	"github.com/avfi/avfi/internal/fault"
 	"github.com/avfi/avfi/internal/metrics"
+	"github.com/avfi/avfi/internal/proto"
 	"github.com/avfi/avfi/internal/rng"
 	"github.com/avfi/avfi/internal/safety"
 	"github.com/avfi/avfi/internal/sim"
@@ -49,8 +55,13 @@ type Config struct {
 	// Agent provides the system under test.
 	Agent AgentSource
 	// Injectors are the campaign columns (include fault.NoopName for the
-	// baseline bar).
+	// baseline bar). Mutually exclusive with Matrix.
 	Injectors []InjectorSource
+	// Matrix, when set, replaces the flat injector sweep with a scenario
+	// matrix crossing weather, density, AEB and activation frames with the
+	// injector columns. The per-episode Weather/NumNPCs/NumPedestrians/
+	// EnableAEB fields below are ignored in favor of each cell's values.
+	Matrix *ScenarioMatrix
 	// Missions is the number of distinct navigation scenarios.
 	Missions int
 	// Repetitions is how many seeds run per (mission, injector).
@@ -82,8 +93,17 @@ type AgentSource struct {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if len(c.Injectors) == 0 {
+	if c.Matrix != nil {
+		if len(c.Injectors) != 0 {
+			return fmt.Errorf("campaign: Matrix and Injectors are mutually exclusive")
+		}
+		if err := c.Matrix.Validate(); err != nil {
+			return err
+		}
+	} else if len(c.Injectors) == 0 {
 		return fmt.Errorf("campaign: no injectors")
+	} else if err := validateDensity(Density{NPCs: c.NumNPCs, Pedestrians: c.NumPedestrians}); err != nil {
+		return err
 	}
 	if c.Missions <= 0 || c.Repetitions <= 0 {
 		return fmt.Errorf("campaign: missions=%d repetitions=%d must be positive", c.Missions, c.Repetitions)
@@ -91,7 +111,11 @@ func (c Config) Validate() error {
 	if c.Agent.Agent == nil && c.Agent.Pretrain == nil {
 		return fmt.Errorf("campaign: no agent source")
 	}
-	for i, src := range c.Injectors {
+	sources := c.Injectors
+	if c.Matrix != nil {
+		sources = c.Matrix.Injectors
+	}
+	for i, src := range sources {
 		if src.Name == "" {
 			return fmt.Errorf("campaign: injector %d has no name", i)
 		}
@@ -104,12 +128,26 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// EngineStats describes the persistent engine's work for one campaign run.
+type EngineStats struct {
+	// Transport is "pipe" or "tcp".
+	Transport string
+	// Episodes is how many sessions the engine served.
+	Episodes int
+	// MaxConcurrentSessions is the high-water mark of episodes multiplexed
+	// simultaneously over the campaign's single connection.
+	MaxConcurrentSessions int
+}
+
 // ResultSet is a finished campaign.
 type ResultSet struct {
 	// Records holds every episode in deterministic order.
 	Records []metrics.EpisodeRecord
-	// Reports aggregates per injector, in the configured injector order.
+	// Reports aggregates per scenario column (injector, or matrix-cell
+	// label), in the configured column order.
 	Reports []metrics.Report
+	// Engine reports how the persistent engine ran the campaign.
+	Engine EngineStats
 }
 
 // ReportFor returns the report for an injector name.
@@ -122,6 +160,20 @@ func (rs *ResultSet) ReportFor(name string) (metrics.Report, bool) {
 	return metrics.Report{}, false
 }
 
+// runCell is one resolved scenario column: an injector plus the episode
+// conditions it runs under. Legacy flat campaigns have one cell per
+// injector keyed by the bare injector name (preserving historical seed
+// derivation); matrix campaigns have one cell per matrix point keyed by the
+// cell label.
+type runCell struct {
+	src     InjectorSource
+	key     string
+	weather world.Weather
+	npcs    int
+	peds    int
+	aeb     bool
+}
+
 // Runner executes campaigns over one world and agent.
 type Runner struct {
 	cfg   Config
@@ -129,6 +181,8 @@ type Runner struct {
 	agent *agent.Agent
 	// missions are the sampled (from, to) scenarios.
 	missions [][2]world.NodeID
+	// cells are the resolved scenario columns.
+	cells []runCell
 }
 
 // NewRunner builds the world, resolves the agent (training it on first use
@@ -149,6 +203,29 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 	}
 	r := &Runner{cfg: cfg, world: w, agent: a}
+	if cfg.Matrix != nil {
+		for _, c := range cfg.Matrix.Cells() {
+			r.cells = append(r.cells, runCell{
+				src:     c.Injector,
+				key:     c.Label(),
+				weather: c.Weather,
+				npcs:    c.Density.NPCs,
+				peds:    c.Density.Pedestrians,
+				aeb:     c.AEB,
+			})
+		}
+	} else {
+		for _, src := range cfg.Injectors {
+			r.cells = append(r.cells, runCell{
+				src:     src,
+				key:     src.Name,
+				weather: cfg.Weather,
+				npcs:    cfg.NumNPCs,
+				peds:    cfg.NumPedestrians,
+				aeb:     cfg.EnableAEB,
+			})
+		}
+	}
 
 	minDist := cfg.MinMissionDistM
 	if minDist == 0 {
@@ -180,18 +257,20 @@ func (r *Runner) Missions() [][2]world.NodeID {
 
 // job is one episode to run.
 type job struct {
-	injectorIdx int
-	mission     int
-	repetition  int
+	cellIdx    int
+	mission    int
+	repetition int
 }
 
-// Run executes the full sweep and aggregates reports.
+// Run executes the full sweep on a persistent engine and aggregates
+// reports: one server, one client and one connection (plus, over TCP, one
+// listener) carry every episode of the campaign as multiplexed sessions.
 func (r *Runner) Run() (*ResultSet, error) {
-	jobs := make([]job, 0, len(r.cfg.Injectors)*len(r.missions)*r.cfg.Repetitions)
-	for i := range r.cfg.Injectors {
+	jobs := make([]job, 0, len(r.cells)*len(r.missions)*r.cfg.Repetitions)
+	for i := range r.cells {
 		for m := range r.missions {
 			for rep := 0; rep < r.cfg.Repetitions; rep++ {
-				jobs = append(jobs, job{injectorIdx: i, mission: m, repetition: rep})
+				jobs = append(jobs, job{cellIdx: i, mission: m, repetition: rep})
 			}
 		}
 	}
@@ -202,6 +281,11 @@ func (r *Runner) Run() (*ResultSet, error) {
 	}
 	if parallelism > len(jobs) {
 		parallelism = len(jobs)
+	}
+
+	eng, err := r.startEngine()
+	if err != nil {
+		return nil, err
 	}
 
 	var (
@@ -216,12 +300,17 @@ func (r *Runner) Run() (*ResultSet, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				rec, err := r.runEpisode(j)
+				rec, err := r.runEpisode(eng, j)
 				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					// Only successful episodes feed the aggregates; a
+					// zero-value record would silently pollute them.
+					records = append(records, rec)
 				}
-				records = append(records, rec)
 				mu.Unlock()
 			}
 		}()
@@ -231,6 +320,10 @@ func (r *Runner) Run() (*ResultSet, error) {
 	}
 	close(jobCh)
 	wg.Wait()
+	stats := eng.stats()
+	if err := eng.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -247,40 +340,31 @@ func (r *Runner) Run() (*ResultSet, error) {
 		return ra.Repetition < rb.Repetition
 	})
 
-	rs := &ResultSet{Records: records}
+	rs := &ResultSet{Records: records, Engine: stats}
 	grouped := metrics.GroupByInjector(records)
-	for _, src := range r.cfg.Injectors {
-		rs.Reports = append(rs.Reports, metrics.BuildReport(src.Name, grouped[src.Name]))
+	for _, c := range r.cells {
+		rs.Reports = append(rs.Reports, metrics.BuildReport(c.key, grouped[c.key]))
 	}
 	return rs, nil
 }
 
-// episodeSeed derives the deterministic seed for one job.
-func (r *Runner) episodeSeed(injName string, mission, rep int) uint64 {
+// episodeSeed derives the deterministic seed for one job. The key is the
+// scenario column label (the bare injector name for flat campaigns, which
+// keeps historical suites reproducing bit-identically).
+func (r *Runner) episodeSeed(key string, mission, rep int) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%d|%d", r.cfg.Seed, injName, mission, rep)
+	fmt.Fprintf(h, "%d|%s|%d|%d", r.cfg.Seed, key, mission, rep)
 	return h.Sum64()
 }
 
-// runEpisode executes one job end to end.
-func (r *Runner) runEpisode(j job) (metrics.EpisodeRecord, error) {
-	src := r.cfg.Injectors[j.injectorIdx]
+// runEpisode executes one job as a session on the persistent engine.
+func (r *Runner) runEpisode(eng *engine, j job) (metrics.EpisodeRecord, error) {
+	cell := r.cells[j.cellIdx]
 	pair := r.missions[j.mission]
-	seed := r.episodeSeed(src.Name, j.mission, j.repetition)
-
-	episode, err := r.world.NewEpisode(sim.EpisodeConfig{
-		From: pair[0], To: pair[1],
-		Seed:           seed,
-		Weather:        r.cfg.Weather,
-		NumNPCs:        r.cfg.NumNPCs,
-		NumPedestrians: r.cfg.NumPedestrians,
-	})
-	if err != nil {
-		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: %w", src.Name, j.mission, j.repetition, err)
-	}
+	seed := r.episodeSeed(cell.key, j.mission, j.repetition)
 
 	// Instantiate the injector and slot it into every role it implements.
-	inst := instantiate(src)
+	inst := instantiate(cell.src)
 	driver := simclient.NewFaultedDriver(r.agent.Clone(), nil, nil, nil, rng.New(seed).Split("fault"))
 	if in, ok := inst.(fault.InputInjector); ok {
 		driver.Input = in
@@ -294,16 +378,27 @@ func (r *Runner) runEpisode(j job) (metrics.EpisodeRecord, error) {
 	if mi, ok := inst.(fault.ModelInjector); ok {
 		driver.ApplyModelFault(mi, rng.New(seed).Split("mlfault"))
 	}
-	if r.cfg.EnableAEB {
-		driver.AEB = safety.NewAEB(episode.EgoParams())
+	if cell.aeb {
+		driver.AEB = safety.NewAEB(r.world.EgoParams())
 	}
 
-	res, err := r.execute(episode, driver)
-	if err != nil {
-		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: %w", src.Name, j.mission, j.repetition, err)
+	open := &proto.OpenEpisode{
+		From: uint32(pair[0]), To: uint32(pair[1]),
+		Seed:           seed,
+		Weather:        uint8(cell.weather),
+		NumNPCs:        uint16(cell.npcs),
+		NumPedestrians: uint16(cell.peds),
 	}
-	injTime := float64(src.InjectionFrame) * sim.Dt
-	return metrics.FromSimResult(src.Name, j.mission, j.repetition, seed, res, injTime), nil
+	sid, _, err := eng.client.RunEpisode(open, driver)
+	if err != nil {
+		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: %w", cell.key, j.mission, j.repetition, err)
+	}
+	res, ok := eng.server.Result(sid)
+	if !ok {
+		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: session %d finished without a server result", cell.key, j.mission, j.repetition, sid)
+	}
+	injTime := float64(cell.src.InjectionFrame) * sim.Dt
+	return metrics.FromSimResult(cell.key, j.mission, j.repetition, seed, res, injTime), nil
 }
 
 // instantiate builds the injector instance for one episode.
@@ -333,70 +428,91 @@ func Instantiate(src InjectorSource) (interface{}, error) {
 	return spec.New(), nil
 }
 
-// execute runs one episode over the configured transport.
-func (r *Runner) execute(episode *sim.Episode, driver simclient.Driver) (sim.Result, error) {
-	if r.cfg.UseTCP {
-		return r.executeTCP(episode, driver)
-	}
-	serverConn, clientConn := transport.Pipe()
-	defer serverConn.Close()
-	defer clientConn.Close()
-
-	var (
-		wg        sync.WaitGroup
-		res       sim.Result
-		serverErr error
-	)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		res, serverErr = simserver.ServeEpisode(episode, serverConn)
-	}()
-	if _, err := simclient.RunEpisode(clientConn, driver); err != nil {
-		return sim.Result{}, err
-	}
-	wg.Wait()
-	if serverErr != nil {
-		return sim.Result{}, serverErr
-	}
-	return res, nil
+// engine is a campaign's persistent simulation engine: one multiplexed
+// server, one session client, and exactly one connection between them for
+// the whole sweep (plus one listener when running over TCP).
+type engine struct {
+	server     *simserver.Server
+	client     *simclient.Client
+	serverConn transport.Conn
+	listener   *transport.Listener
+	serveCh    chan error
+	transport  string
 }
 
-func (r *Runner) executeTCP(episode *sim.Episode, driver simclient.Driver) (sim.Result, error) {
-	l, err := transport.Listen("127.0.0.1:0")
-	if err != nil {
-		return sim.Result{}, err
+// startEngine wires the server and client over the configured transport and
+// starts serving sessions.
+func (r *Runner) startEngine() (*engine, error) {
+	factory := func(open *proto.OpenEpisode) (*sim.Episode, error) {
+		return r.world.NewEpisode(sim.EpisodeConfig{
+			From: world.NodeID(open.From), To: world.NodeID(open.To),
+			Seed:           open.Seed,
+			Weather:        world.Weather(open.Weather),
+			NumNPCs:        int(open.NumNPCs),
+			NumPedestrians: int(open.NumPedestrians),
+			TimeoutSec:     open.TimeoutSec,
+			GoalRadius:     open.GoalRadius,
+		})
 	}
-	defer l.Close()
+	eng := &engine{server: simserver.NewServer(factory), serveCh: make(chan error, 1)}
 
-	var (
-		wg        sync.WaitGroup
-		res       sim.Result
-		serverErr error
-	)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		conn, err := l.Accept()
+	var clientConn transport.Conn
+	if r.cfg.UseTCP {
+		eng.transport = "tcp"
+		l, err := transport.Listen("127.0.0.1:0")
 		if err != nil {
-			serverErr = err
-			return
+			return nil, fmt.Errorf("campaign: %w", err)
 		}
-		defer conn.Close()
-		res, serverErr = simserver.ServeEpisode(episode, conn)
-	}()
+		eng.listener = l
+		acceptCh := make(chan transport.Conn, 1)
+		acceptErr := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			acceptCh <- c
+		}()
+		clientConn, err = transport.Dial(l.Addr())
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		select {
+		case eng.serverConn = <-acceptCh:
+		case err := <-acceptErr:
+			clientConn.Close()
+			l.Close()
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+	} else {
+		eng.transport = "pipe"
+		eng.serverConn, clientConn = transport.Pipe()
+	}
 
-	clientConn, err := transport.Dial(l.Addr())
-	if err != nil {
-		return sim.Result{}, err
+	go func() { eng.serveCh <- eng.server.Serve(eng.serverConn) }()
+	eng.client = simclient.NewClient(clientConn)
+	return eng, nil
+}
+
+// stats snapshots the engine's work so far.
+func (e *engine) stats() EngineStats {
+	return EngineStats{
+		Transport:             e.transport,
+		Episodes:              e.server.TotalSessions(),
+		MaxConcurrentSessions: e.server.MaxConcurrent(),
 	}
-	defer clientConn.Close()
-	if _, err := simclient.RunEpisode(clientConn, driver); err != nil {
-		return sim.Result{}, err
+}
+
+// close tears the engine down: closing the client's connection is the
+// shutdown signal the server drains on.
+func (e *engine) close() error {
+	e.client.Close()
+	err := <-e.serveCh
+	e.serverConn.Close()
+	if e.listener != nil {
+		e.listener.Close()
 	}
-	wg.Wait()
-	if serverErr != nil {
-		return sim.Result{}, serverErr
-	}
-	return res, nil
+	return err
 }

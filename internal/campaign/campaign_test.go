@@ -77,6 +77,11 @@ func TestConfigValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("unnamed injector accepted")
 	}
+	bad = good
+	bad.NumNPCs = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative NPC count accepted")
+	}
 }
 
 func TestRunSmallCampaign(t *testing.T) {

@@ -132,10 +132,12 @@ func Kind(buf []byte) (MsgKind, error) {
 		return KindInvalid, fmt.Errorf("%w: version %d, want %d", ErrCodec, buf[0], Version)
 	}
 	k := MsgKind(buf[1])
-	if k != KindSensorFrame && k != KindControl && k != KindEpisodeEnd {
-		return KindInvalid, fmt.Errorf("%w: unknown kind %d", ErrCodec, buf[1])
+	switch k {
+	case KindSensorFrame, KindControl, KindEpisodeEnd,
+		KindEnvelope, KindOpenEpisode, KindSessionError:
+		return k, nil
 	}
-	return k, nil
+	return KindInvalid, fmt.Errorf("%w: unknown kind %d", ErrCodec, buf[1])
 }
 
 // DecodeSensorFrame parses an encoded sensor frame.
@@ -262,6 +264,15 @@ func (r *reader) uint32() uint32 {
 	return v
 }
 
+func (r *reader) uint64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
 func (r *reader) float() float64 {
 	if !r.need(8) {
 		return 0
@@ -286,6 +297,18 @@ func (r *reader) bytes(n int) []byte {
 
 func appendFloat(buf []byte, f float64) []byte {
 	return binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendUint16(buf []byte, v uint16) []byte {
+	return binary.BigEndian.AppendUint16(buf, v)
+}
+
+func appendUint32(buf []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(buf, v)
+}
+
+func appendUint64(buf []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(buf, v)
 }
 
 func boolByte(b bool) byte {

@@ -1,0 +1,155 @@
+// Session-multiplexed framing: an Envelope tags any legacy message with a
+// session ID so one transport.Conn can carry many concurrent episodes, and
+// OpenEpisode/SessionError form the handshake around the existing
+// SensorFrame/Control/EpisodeEnd episode body.
+//
+// The envelope is a regular kind-tagged message whose payload is itself an
+// encoded message, so the legacy single-episode codec keeps working
+// unchanged: un-enveloped streams decode exactly as before, and enveloped
+// streams reuse the same inner encoders.
+
+package proto
+
+import (
+	"fmt"
+)
+
+// Session-layer message kinds (continuing the legacy enum).
+const (
+	// KindEnvelope wraps an inner message with a session ID.
+	KindEnvelope MsgKind = iota + KindEpisodeEnd + 1
+	// KindOpenEpisode is client -> server: start an episode on a session.
+	KindOpenEpisode
+	// KindSessionError is server -> client: the session failed to open or
+	// aborted; carries a reason and closes the session.
+	KindSessionError
+)
+
+// MaxReason bounds a SessionError reason string on the wire.
+const MaxReason = 1 << 12
+
+// OpenEpisode asks the server to start an episode on the enclosing
+// envelope's session. It is the wire form of sim.EpisodeConfig: the server
+// owns the world and builds the episode from these parameters. Note the
+// wire protocol carries only the EpisodeEnd summary back; full results
+// (violation lists for metrics) are read from the Server in-process, so a
+// truly remote campaign would need an additional result message.
+type OpenEpisode struct {
+	// From and To are the mission's start and goal intersections (NodeIDs).
+	From, To uint32
+	// Seed drives all episode randomness.
+	Seed uint64
+	// Weather is the world.Weather numeric value.
+	Weather uint8
+	// NumNPCs and NumPedestrians populate the town.
+	NumNPCs        uint16
+	NumPedestrians uint16
+	// TimeoutSec and GoalRadius override episode defaults when non-zero.
+	TimeoutSec float64
+	GoalRadius float64
+}
+
+// SessionError reports a failed session (e.g. episode construction error).
+type SessionError struct {
+	Reason string
+}
+
+// EncodeEnvelope wraps an already-encoded inner message with a session ID.
+func EncodeEnvelope(session uint32, inner []byte) []byte {
+	buf := make([]byte, 0, 2+4+len(inner))
+	buf = append(buf, Version, byte(KindEnvelope))
+	buf = appendUint32(buf, session)
+	buf = append(buf, inner...)
+	return buf
+}
+
+// DecodeEnvelope unwraps an envelope, returning the session ID and the
+// inner encoded message (a subslice of buf, not a copy).
+func DecodeEnvelope(buf []byte) (uint32, []byte, error) {
+	if k, err := Kind(buf); err != nil {
+		return 0, nil, err
+	} else if k != KindEnvelope {
+		return 0, nil, fmt.Errorf("%w: kind %d is not an envelope", ErrCodec, k)
+	}
+	r := reader{buf: buf, off: 2}
+	session := r.uint32()
+	if r.err != nil {
+		return 0, nil, fmt.Errorf("%w: envelope: %v", ErrCodec, r.err)
+	}
+	inner := buf[r.off:]
+	if _, err := Kind(inner); err != nil {
+		return 0, nil, fmt.Errorf("%w: envelope payload: %v", ErrCodec, err)
+	}
+	return session, inner, nil
+}
+
+// EncodeOpenEpisode serializes o with its kind tag.
+func EncodeOpenEpisode(o *OpenEpisode) []byte {
+	buf := make([]byte, 0, 2+4+4+8+1+2+2+8+8)
+	buf = append(buf, Version, byte(KindOpenEpisode))
+	buf = appendUint32(buf, o.From)
+	buf = appendUint32(buf, o.To)
+	buf = appendUint64(buf, o.Seed)
+	buf = append(buf, o.Weather)
+	buf = appendUint16(buf, o.NumNPCs)
+	buf = appendUint16(buf, o.NumPedestrians)
+	buf = appendFloat(buf, o.TimeoutSec)
+	buf = appendFloat(buf, o.GoalRadius)
+	return buf
+}
+
+// DecodeOpenEpisode parses an encoded open-episode request.
+func DecodeOpenEpisode(buf []byte) (*OpenEpisode, error) {
+	if k, err := Kind(buf); err != nil {
+		return nil, err
+	} else if k != KindOpenEpisode {
+		return nil, fmt.Errorf("%w: kind %d is not an open-episode", ErrCodec, k)
+	}
+	r := reader{buf: buf, off: 2}
+	var o OpenEpisode
+	o.From = r.uint32()
+	o.To = r.uint32()
+	o.Seed = r.uint64()
+	o.Weather = r.byte()
+	o.NumNPCs = r.uint16()
+	o.NumPedestrians = r.uint16()
+	o.TimeoutSec = r.float()
+	o.GoalRadius = r.float()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: open episode: %v", ErrCodec, r.err)
+	}
+	return &o, nil
+}
+
+// EncodeSessionError serializes e with its kind tag. Oversized reasons are
+// truncated rather than rejected: the error path must not itself error.
+func EncodeSessionError(e *SessionError) []byte {
+	reason := e.Reason
+	if len(reason) > MaxReason {
+		reason = reason[:MaxReason]
+	}
+	buf := make([]byte, 0, 2+2+len(reason))
+	buf = append(buf, Version, byte(KindSessionError))
+	buf = appendUint16(buf, uint16(len(reason)))
+	buf = append(buf, reason...)
+	return buf
+}
+
+// DecodeSessionError parses an encoded session error.
+func DecodeSessionError(buf []byte) (*SessionError, error) {
+	if k, err := Kind(buf); err != nil {
+		return nil, err
+	} else if k != KindSessionError {
+		return nil, fmt.Errorf("%w: kind %d is not a session error", ErrCodec, k)
+	}
+	r := reader{buf: buf, off: 2}
+	n := int(r.uint16())
+	if n > MaxReason {
+		return nil, fmt.Errorf("%w: reason length %d exceeds limit", ErrCodec, n)
+	}
+	raw := r.bytes(n)
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: session error: %v", ErrCodec, r.err)
+	}
+	return &SessionError{Reason: string(raw)}, nil
+}

@@ -1,0 +1,109 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	inner := EncodeControl(&Control{Frame: 7, Steer: -0.25, Throttle: 0.5, Brake: 0})
+	env := EncodeEnvelope(42, inner)
+
+	if k, err := Kind(env); err != nil || k != KindEnvelope {
+		t.Fatalf("Kind(envelope) = %v, %v", k, err)
+	}
+	sid, got, err := DecodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != 42 {
+		t.Errorf("session = %d, want 42", sid)
+	}
+	ctl, err := DecodeControl(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Frame != 7 || ctl.Steer != -0.25 || ctl.Throttle != 0.5 {
+		t.Errorf("inner control mangled: %+v", ctl)
+	}
+}
+
+func TestEnvelopeCarriesEveryKind(t *testing.T) {
+	inners := map[string][]byte{
+		"sensor": EncodeSensorFrame(&SensorFrame{
+			Frame: 1, ImageW: 2, ImageH: 1, Pixels: make([]byte, 6),
+		}),
+		"end":   EncodeEpisodeEnd(&EpisodeEnd{Status: 2, Frames: 9, DistanceM: 12.5}),
+		"open":  EncodeOpenEpisode(&OpenEpisode{From: 3, To: 4, Seed: 99}),
+		"error": EncodeSessionError(&SessionError{Reason: "boom"}),
+	}
+	for name, inner := range inners {
+		sid, got, err := DecodeEnvelope(EncodeEnvelope(7, inner))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sid != 7 || len(got) != len(inner) {
+			t.Errorf("%s: sid=%d len=%d want 7/%d", name, sid, len(got), len(inner))
+		}
+	}
+}
+
+func TestEnvelopeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeEnvelope(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, _, err := DecodeEnvelope([]byte{Version, byte(KindEnvelope), 0, 0}); err == nil {
+		t.Error("truncated session ID accepted")
+	}
+	// Envelope whose payload is not a valid message.
+	env := EncodeEnvelope(1, []byte{Version})
+	if _, _, err := DecodeEnvelope(env); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Non-envelope message.
+	ctl := EncodeControl(&Control{Frame: 1})
+	if _, _, err := DecodeEnvelope(ctl); err == nil {
+		t.Error("bare control accepted as envelope")
+	}
+}
+
+func TestOpenEpisodeRoundTrip(t *testing.T) {
+	in := &OpenEpisode{
+		From: 11, To: 29, Seed: 0xdeadbeefcafe,
+		Weather: 2, NumNPCs: 8, NumPedestrians: 4,
+		TimeoutSec: 90.5, GoalRadius: 6,
+	}
+	out, err := DecodeOpenEpisode(EncodeOpenEpisode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := DecodeOpenEpisode(EncodeControl(&Control{})); err == nil {
+		t.Error("control accepted as open-episode")
+	}
+	if _, err := DecodeOpenEpisode(EncodeOpenEpisode(in)[:10]); err == nil {
+		t.Error("truncated open-episode accepted")
+	}
+}
+
+func TestSessionErrorRoundTrip(t *testing.T) {
+	out, err := DecodeSessionError(EncodeSessionError(&SessionError{Reason: "no route"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reason != "no route" {
+		t.Errorf("reason = %q", out.Reason)
+	}
+
+	// Oversized reasons are truncated on encode, not rejected.
+	long := strings.Repeat("x", MaxReason+100)
+	out, err = DecodeSessionError(EncodeSessionError(&SessionError{Reason: long}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reason) != MaxReason {
+		t.Errorf("truncated reason len = %d, want %d", len(out.Reason), MaxReason)
+	}
+}

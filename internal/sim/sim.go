@@ -107,6 +107,11 @@ type Episode struct {
 	prevPose physics.VehicleState
 }
 
+// EgoParams returns the physical constants every episode's ego vehicle
+// uses — available before any episode exists, so session clients can build
+// safety monitors without holding the episode.
+func (w *World) EgoParams() physics.VehicleParams { return physics.DefaultVehicleParams() }
+
 // NewEpisode plans the mission route and spawns actors.
 func (w *World) NewEpisode(cfg EpisodeConfig) (*Episode, error) {
 	if err := cfg.Validate(); err != nil {

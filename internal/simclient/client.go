@@ -1,0 +1,154 @@
+package simclient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/transport"
+)
+
+// ErrClientClosed is returned by RunEpisode when the shared connection is
+// gone before the episode completed.
+var ErrClientClosed = errors.New("simclient: client closed")
+
+// Client is the session-multiplexed agent endpoint: a worker pool of
+// drivers shares one transport.Conn, each worker running episodes through
+// RunEpisode with its own session ID. A single receive loop demultiplexes
+// enveloped server messages to the per-session episode loops, so a whole
+// campaign needs exactly one connection (and, over TCP, one dial).
+type Client struct {
+	conn transport.Conn
+
+	mu       sync.Mutex
+	next     uint32
+	sessions map[uint32]chan []byte
+	err      error
+
+	done chan struct{}
+}
+
+// NewClient wraps a connection and starts the demultiplexing receive loop.
+// Callers own the connection and end the engine by closing it (or the
+// Client via Close).
+func NewClient(conn transport.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		sessions: make(map[uint32]chan []byte),
+		done:     make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c
+}
+
+// recvLoop routes enveloped messages to their session until the connection
+// dies, then wakes every waiting session.
+func (c *Client) recvLoop() {
+	var loopErr error
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			loopErr = err
+			break
+		}
+		sid, inner, err := proto.DecodeEnvelope(msg)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		c.mu.Lock()
+		ch, ok := c.sessions[sid]
+		c.mu.Unlock()
+		if !ok {
+			// Session abandoned (its RunEpisode already returned an error).
+			continue
+		}
+		ch <- inner
+	}
+	c.mu.Lock()
+	c.err = loopErr
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Close closes the shared connection; in-flight RunEpisode calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Err reports why the receive loop stopped (nil while it is running).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// register allocates a session ID and its inbound channel.
+func (c *Client) register() (uint32, chan []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	sid := c.next
+	// Deep enough for the final done-frame plus the trailing EpisodeEnd,
+	// which the server sends back-to-back without an intervening control.
+	ch := make(chan []byte, 2)
+	c.sessions[sid] = ch
+	return sid, ch
+}
+
+// unregister drops a session's routing entry.
+func (c *Client) unregister(sid uint32) {
+	c.mu.Lock()
+	delete(c.sessions, sid)
+	c.mu.Unlock()
+}
+
+// RunEpisode opens a session for the scenario, drives every sensor frame
+// through the Driver, and returns the session ID (for server-side result
+// lookup) with the server's final episode summary. Safe for concurrent use
+// from many workers.
+func (c *Client) RunEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.EpisodeEnd, error) {
+	sid, ch := c.register()
+	defer c.unregister(sid)
+
+	if err := c.conn.Send(proto.EncodeEnvelope(sid, proto.EncodeOpenEpisode(open))); err != nil {
+		return sid, nil, fmt.Errorf("simclient: session %d: open: %w", sid, err)
+	}
+	d.Reset()
+	for {
+		var inner []byte
+		select {
+		case inner = <-ch:
+		case <-c.done:
+			// Drain a message that raced the shutdown.
+			select {
+			case inner = <-ch:
+			default:
+				if err := c.Err(); err != nil {
+					return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+				}
+				return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, ErrClientClosed)
+			}
+		}
+		// The session layer adds one message the legacy loop never sees:
+		// an aborted open.
+		if kind, err := proto.Kind(inner); err == nil && kind == proto.KindSessionError {
+			se, err := proto.DecodeSessionError(inner)
+			if err != nil {
+				return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+			}
+			return sid, nil, fmt.Errorf("simclient: session %d: server: %s", sid, se.Reason)
+		}
+		reply, end, err := episodeStep(inner, d)
+		if err != nil {
+			return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+		}
+		if end != nil {
+			return sid, end, nil
+		}
+		if reply != nil {
+			if err := c.conn.Send(proto.EncodeEnvelope(sid, reply)); err != nil {
+				return sid, nil, fmt.Errorf("simclient: session %d: send control: %w", sid, err)
+			}
+		}
+	}
+}

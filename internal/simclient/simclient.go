@@ -28,6 +28,50 @@ type Driver interface {
 	Reset()
 }
 
+// episodeStep processes one inbound episode message: it returns the
+// encoded control to send back (nil when no reply is due), the final
+// episode summary (nil while the episode runs), or an error. Shared by the
+// legacy single-episode loop and the session Client so the two paths
+// cannot drift apart.
+func episodeStep(msg []byte, d Driver) (reply []byte, end *proto.EpisodeEnd, err error) {
+	kind, err := proto.Kind(msg)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch kind {
+	case proto.KindEpisodeEnd:
+		end, err := proto.DecodeEpisodeEnd(msg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, end, nil
+
+	case proto.KindSensorFrame:
+		frame, err := proto.DecodeSensorFrame(msg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if frame.Done {
+			// Final frame; the episode-end summary follows.
+			return nil, nil, nil
+		}
+		ctl, err := d.Drive(frame)
+		if err != nil {
+			return nil, nil, fmt.Errorf("drive frame %d: %w", frame.Frame, err)
+		}
+		out := &proto.Control{
+			Frame:    frame.Frame,
+			Steer:    ctl.Steer,
+			Throttle: ctl.Throttle,
+			Brake:    ctl.Brake,
+		}
+		return proto.EncodeControl(out), nil, nil
+
+	default:
+		return nil, nil, fmt.Errorf("unexpected message kind %d", kind)
+	}
+}
+
 // RunEpisode consumes sensor frames from the connection, drives them
 // through the Driver, and sends controls back, until the server reports the
 // episode done. It returns the server's final episode summary.
@@ -38,43 +82,17 @@ func RunEpisode(conn transport.Conn, d Driver) (*proto.EpisodeEnd, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simclient: recv: %w", err)
 		}
-		kind, err := proto.Kind(msg)
+		reply, end, err := episodeStep(msg, d)
 		if err != nil {
 			return nil, fmt.Errorf("simclient: %w", err)
 		}
-		switch kind {
-		case proto.KindEpisodeEnd:
-			end, err := proto.DecodeEpisodeEnd(msg)
-			if err != nil {
-				return nil, fmt.Errorf("simclient: %w", err)
-			}
+		if end != nil {
 			return end, nil
-
-		case proto.KindSensorFrame:
-			frame, err := proto.DecodeSensorFrame(msg)
-			if err != nil {
-				return nil, fmt.Errorf("simclient: %w", err)
+		}
+		if reply != nil {
+			if err := conn.Send(reply); err != nil {
+				return nil, fmt.Errorf("simclient: send control: %w", err)
 			}
-			if frame.Done {
-				// Final frame; the episode-end summary follows.
-				continue
-			}
-			ctl, err := d.Drive(frame)
-			if err != nil {
-				return nil, fmt.Errorf("simclient: drive frame %d: %w", frame.Frame, err)
-			}
-			out := &proto.Control{
-				Frame:    frame.Frame,
-				Steer:    ctl.Steer,
-				Throttle: ctl.Throttle,
-				Brake:    ctl.Brake,
-			}
-			if err := conn.Send(proto.EncodeControl(out)); err != nil {
-				return nil, fmt.Errorf("simclient: send control %d: %w", frame.Frame, err)
-			}
-
-		default:
-			return nil, fmt.Errorf("simclient: unexpected message kind %d", kind)
 		}
 	}
 }

@@ -1,0 +1,225 @@
+package simserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/transport"
+)
+
+// EpisodeFactory builds the episode for one OpenEpisode request. The server
+// owns the world; clients only ship scenario parameters over the wire.
+type EpisodeFactory func(open *proto.OpenEpisode) (*sim.Episode, error)
+
+// Server is the persistent, session-multiplexed simulation engine: one
+// Server serves many concurrent episodes over a single transport.Conn. Each
+// OpenEpisode envelope spawns a session goroutine running the same
+// frame/control loop as ServeEpisode, with all sessions' traffic
+// interleaved on the shared connection.
+//
+// This is the campaign-throughput shape the paper's sweeps need: episode
+// dispatch is O(1) in connections (one conn and, over TCP, one listener per
+// campaign) instead of a listener + dial + goroutine per episode.
+type Server struct {
+	factory EpisodeFactory
+
+	mu        sync.Mutex
+	sessions  map[uint32]chan *proto.Control
+	results   map[uint32]sim.Result
+	active    int
+	maxActive int
+	total     int
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds an idle engine around an episode factory.
+func NewServer(factory EpisodeFactory) *Server {
+	return &Server{
+		factory:  factory,
+		sessions: make(map[uint32]chan *proto.Control),
+		results:  make(map[uint32]sim.Result),
+	}
+}
+
+// Serve multiplexes episodes over conn until the peer closes it. Every
+// received envelope either opens a session (KindOpenEpisode) or routes a
+// control to its session goroutine. Serve returns nil on a clean shutdown
+// (peer closed the connection) after all in-flight sessions drain.
+func (s *Server) Serve(conn transport.Conn) error {
+	err := s.demux(conn)
+	// Unblock any session still waiting for a control (the peer is gone),
+	// then drain the episode goroutines.
+	s.mu.Lock()
+	for sid, ch := range s.sessions {
+		close(ch)
+		delete(s.sessions, sid)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// demux is Serve's receive loop.
+func (s *Server) demux(conn transport.Conn) error {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return fmt.Errorf("simserver: serve recv: %w", err)
+		}
+		sid, inner, err := proto.DecodeEnvelope(msg)
+		if err != nil {
+			return fmt.Errorf("simserver: serve: %w", err)
+		}
+		kind, err := proto.Kind(inner)
+		if err != nil {
+			return fmt.Errorf("simserver: session %d: %w", sid, err)
+		}
+		switch kind {
+		case proto.KindOpenEpisode:
+			open, err := proto.DecodeOpenEpisode(inner)
+			if err != nil {
+				return fmt.Errorf("simserver: session %d: %w", sid, err)
+			}
+			if err := s.open(conn, sid, open); err != nil {
+				return err
+			}
+
+		case proto.KindControl:
+			ctl, err := proto.DecodeControl(inner)
+			if err != nil {
+				return fmt.Errorf("simserver: session %d: %w", sid, err)
+			}
+			s.mu.Lock()
+			ch, ok := s.sessions[sid]
+			s.mu.Unlock()
+			if !ok {
+				// Session already ended (e.g. control raced EpisodeEnd).
+				continue
+			}
+			ch <- ctl
+
+		default:
+			return fmt.Errorf("simserver: session %d: unexpected kind %d", sid, kind)
+		}
+	}
+}
+
+// open registers a session and spawns its episode goroutine. Episode
+// construction happens inside the goroutine so heavy scenario setup never
+// blocks the demux loop, and many episodes build concurrently.
+func (s *Server) open(conn transport.Conn, sid uint32, open *proto.OpenEpisode) error {
+	// A control per in-flight frame plus the strictly request/response
+	// loop means one slot never blocks the demux loop.
+	ch := make(chan *proto.Control, 1)
+	s.mu.Lock()
+	if _, dup := s.sessions[sid]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("simserver: session %d already open", sid)
+	}
+	s.sessions[sid] = ch
+	s.active++
+	s.total++
+	if s.active > s.maxActive {
+		s.maxActive = s.active
+	}
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.runSession(conn, sid, open, ch)
+	return nil
+}
+
+// runSession builds and drives one episode: send enveloped sensor frames,
+// wait for the routed control, step — the ServeEpisode loop,
+// multiplex-aware. A factory failure is reported to the client as a
+// SessionError, not a server error: one bad scenario must not tear down the
+// whole campaign engine.
+func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpisode, controls <-chan *proto.Control) {
+	defer s.wg.Done()
+	defer s.closeSession(sid)
+
+	e, err := s.factory(open)
+	if err != nil {
+		msg := proto.EncodeSessionError(&proto.SessionError{Reason: err.Error()})
+		_ = conn.Send(proto.EncodeEnvelope(sid, msg))
+		return
+	}
+
+	for {
+		obs := e.Observe()
+		if err := conn.Send(proto.EncodeEnvelope(sid, proto.EncodeSensorFrame(obsFrame(obs)))); err != nil {
+			return
+		}
+		if obs.Done {
+			break
+		}
+		ctl, ok := <-controls
+		if !ok {
+			return
+		}
+		e.Step(physics.Control{Steer: ctl.Steer, Throttle: ctl.Throttle, Brake: ctl.Brake})
+	}
+
+	res := e.Result()
+	// Record before announcing the end so a client that queries Result
+	// immediately after its EpisodeEnd always finds it.
+	s.mu.Lock()
+	s.results[sid] = res
+	s.mu.Unlock()
+	_ = conn.Send(proto.EncodeEnvelope(sid, proto.EncodeEpisodeEnd(resultEnd(res))))
+}
+
+// closeSession removes a session's routing entry.
+func (s *Server) closeSession(sid uint32) {
+	s.mu.Lock()
+	delete(s.sessions, sid)
+	s.active--
+	s.mu.Unlock()
+}
+
+// Result returns the finished sim result for a session, consuming it. It
+// is an in-process API: the wire EpisodeEnd carries only a summary, so
+// campaign metrics (which need the violation list) read the full result
+// here, on the server side of the engine.
+func (s *Server) Result(sid uint32) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.results[sid]
+	if ok {
+		delete(s.results, sid)
+	}
+	return res, ok
+}
+
+// MaxConcurrent reports the high-water mark of simultaneously active
+// sessions — the multiplexing factor actually achieved on the connection.
+func (s *Server) MaxConcurrent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxActive
+}
+
+// TotalSessions reports how many episodes the engine has served.
+func (s *Server) TotalSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// isClosed reports whether err means the peer hung up — the engine's normal
+// end-of-campaign signal on either transport.
+func isClosed(err error) bool {
+	return errors.Is(err, transport.ErrClosed) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, net.ErrClosed)
+}

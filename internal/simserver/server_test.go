@@ -1,0 +1,277 @@
+package simserver
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/avfi/avfi/internal/physics"
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/simclient"
+	"github.com/avfi/avfi/internal/transport"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// worldFactory builds episodes from OpenEpisode requests against w, with a
+// short timeout so protocol tests stay fast.
+func worldFactory(w *sim.World) EpisodeFactory {
+	return func(open *proto.OpenEpisode) (*sim.Episode, error) {
+		return w.NewEpisode(sim.EpisodeConfig{
+			From: world.NodeID(open.From), To: world.NodeID(open.To),
+			Seed:       open.Seed,
+			TimeoutSec: open.TimeoutSec,
+		})
+	}
+}
+
+// openMsg encodes an enveloped OpenEpisode for a session.
+func openMsg(t *testing.T, w *sim.World, sid uint32, seed uint64, timeoutSec float64) []byte {
+	t.Helper()
+	from, to := mission(t, w, seed)
+	open := &proto.OpenEpisode{
+		From: uint32(from), To: uint32(to),
+		Seed: seed, TimeoutSec: timeoutSec,
+	}
+	return proto.EncodeEnvelope(sid, proto.EncodeOpenEpisode(open))
+}
+
+// TestTwoSessionsInterleaved drives two episodes over one raw connection in
+// strict alternation: the test withholds session A's control until session
+// B has produced a frame and vice versa, so passing requires the server to
+// advance each session independently mid-episode — true multiplexing, not
+// serialized episode turns. (Client-driven alternation keeps the schedule
+// deterministic even on GOMAXPROCS=1, where free-running sessions
+// serialize.)
+func TestTwoSessionsInterleaved(t *testing.T) {
+	w := testWorld(t)
+	srv := NewServer(worldFactory(w))
+	serverConn, clientConn := transport.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serverConn) }()
+
+	const sidA, sidB = 1, 2
+	for _, sid := range []uint32{sidA, sidB} {
+		if err := clientConn.Send(openMsg(t, w, sid, uint64(sid), 2.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// recvEnvelope returns the next message, asserting protocol validity.
+	recvEnvelope := func() (uint32, proto.MsgKind, []byte) {
+		t.Helper()
+		msg, err := clientConn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sid, inner, err := proto.DecodeEnvelope(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sid != sidA && sid != sidB {
+			t.Fatalf("message for unopened session %d", sid)
+		}
+		kind, err := proto.Kind(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == proto.KindSessionError {
+			se, _ := proto.DecodeSessionError(inner)
+			t.Fatalf("session %d error: %v", sid, se)
+		}
+		return sid, kind, inner
+	}
+
+	// Phase 1: both sessions send their first frame unprompted, in either
+	// arrival order.
+	lastFrame := map[uint32]uint32{}
+	for i := 0; i < 2; i++ {
+		sid, kind, inner := recvEnvelope()
+		if kind != proto.KindSensorFrame {
+			t.Fatalf("first message of session %d has kind %d", sid, kind)
+		}
+		if _, dup := lastFrame[sid]; dup {
+			t.Fatalf("two first-frames from session %d: sessions are serialized", sid)
+		}
+		frame, err := proto.DecodeSensorFrame(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastFrame[sid] = frame.Frame
+	}
+
+	// Phase 2: strict alternation. After a control for session X, the only
+	// possible next message is from X (the other session is stalled waiting
+	// for its own control) — each session must advance while its peer sits
+	// mid-episode on the same connection.
+	ended := map[uint32]bool{}
+	for turn := 0; len(ended) < 2; turn++ {
+		sid := uint32(sidA)
+		if turn%2 == 1 {
+			sid = sidB
+		}
+		if ended[sid] {
+			continue
+		}
+		ctl := proto.EncodeControl(&proto.Control{Frame: lastFrame[sid]})
+		if err := clientConn.Send(proto.EncodeEnvelope(sid, ctl)); err != nil {
+			t.Fatal(err)
+		}
+		gotSid, kind, inner := recvEnvelope()
+		if gotSid != sid {
+			t.Fatalf("turn %d: control for session %d answered by session %d", turn, sid, gotSid)
+		}
+		if kind != proto.KindSensorFrame {
+			t.Fatalf("turn %d: kind %d", turn, kind)
+		}
+		frame, err := proto.DecodeSensorFrame(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame.Frame <= lastFrame[sid] {
+			t.Fatalf("session %d frame %d did not advance past %d", sid, frame.Frame, lastFrame[sid])
+		}
+		lastFrame[sid] = frame.Frame
+		if frame.Done {
+			// The episode-end summary follows back-to-back.
+			gotSid, kind, _ := recvEnvelope()
+			if gotSid != sid || kind != proto.KindEpisodeEnd {
+				t.Fatalf("after done frame: session %d kind %d", gotSid, kind)
+			}
+			ended[sid] = true
+		}
+	}
+
+	if lastFrame[sidA] == 0 || lastFrame[sidB] == 0 {
+		t.Errorf("sessions did not both progress: %v", lastFrame)
+	}
+	clientConn.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v after clean close", err)
+	}
+	if got := srv.TotalSessions(); got != 2 {
+		t.Errorf("TotalSessions = %d, want 2", got)
+	}
+}
+
+// TestFourEpisodesMultiplexedOneConn holds every episode factory at a
+// barrier until four sessions have opened, proving >= 4 concurrent episodes
+// are multiplexed over a single transport.Conn.
+func TestFourEpisodesMultiplexedOneConn(t *testing.T) {
+	const n = 4
+	w := testWorld(t)
+
+	var opened int32
+	barrier := make(chan struct{})
+	inner := worldFactory(w)
+	srv := NewServer(func(open *proto.OpenEpisode) (*sim.Episode, error) {
+		if atomic.AddInt32(&opened, 1) == n {
+			close(barrier)
+		}
+		<-barrier
+		return inner(open)
+	})
+
+	serverConn, clientConn := transport.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serverConn) }()
+	client := simclient.NewClient(clientConn)
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			from, to := mission(t, w, uint64(i+1))
+			open := &proto.OpenEpisode{
+				From: uint32(from), To: uint32(to),
+				Seed: uint64(i + 1), TimeoutSec: 1.0,
+			}
+			driver := &simclient.AutopilotDriver{
+				Fn: func(*proto.SensorFrame) physics.Control { return physics.Control{} },
+			}
+			_, _, errs[i] = client.RunEpisode(open, driver)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("episode %d: %v", i, err)
+		}
+	}
+	if got := srv.MaxConcurrent(); got < n {
+		t.Errorf("MaxConcurrent = %d, want >= %d", got, n)
+	}
+	client.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v after clean close", err)
+	}
+}
+
+// TestSessionErrorPropagates turns a factory failure into a client-visible
+// episode error without tearing down the engine.
+func TestSessionErrorPropagates(t *testing.T) {
+	w := testWorld(t)
+	srv := NewServer(func(open *proto.OpenEpisode) (*sim.Episode, error) {
+		if open.Seed == 666 {
+			return nil, errors.New("factory boom")
+		}
+		return worldFactory(w)(open)
+	})
+	serverConn, clientConn := transport.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serverConn) }()
+	client := simclient.NewClient(clientConn)
+
+	from, to := mission(t, w, 5)
+	driver := &simclient.AutopilotDriver{
+		Fn: func(*proto.SensorFrame) physics.Control { return physics.Control{} },
+	}
+	_, _, err := client.RunEpisode(&proto.OpenEpisode{
+		From: uint32(from), To: uint32(to), Seed: 666,
+	}, driver)
+	if err == nil || !strings.Contains(err.Error(), "factory boom") {
+		t.Errorf("error = %v, want factory boom", err)
+	}
+
+	// The engine survives: a later session on the same conn succeeds.
+	_, end, err := client.RunEpisode(&proto.OpenEpisode{
+		From: uint32(from), To: uint32(to), Seed: 5, TimeoutSec: 1.0,
+	}, driver)
+	if err != nil {
+		t.Fatalf("engine dead after session error: %v", err)
+	}
+	if end == nil || end.Frames == 0 {
+		t.Errorf("follow-up episode made no progress: %+v", end)
+	}
+
+	client.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v", err)
+	}
+}
+
+// TestServerDrainsOnMidEpisodeHangup closes the client connection with an
+// episode in flight; Serve must unblock the session and return cleanly.
+func TestServerDrainsOnMidEpisodeHangup(t *testing.T) {
+	w := testWorld(t)
+	srv := NewServer(worldFactory(w))
+	serverConn, clientConn := transport.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serverConn) }()
+
+	if err := clientConn.Send(openMsg(t, w, 9, 9, 30.0)); err != nil {
+		t.Fatal(err)
+	}
+	// One frame proves the session is live, then hang up.
+	if _, err := clientConn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	clientConn.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v after hangup", err)
+	}
+}

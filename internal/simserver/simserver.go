@@ -18,27 +18,42 @@ import (
 	"github.com/avfi/avfi/internal/transport"
 )
 
+// obsFrame converts one observation into its wire form (shared by the
+// legacy single-episode loop and the multiplexed session loop, so the two
+// paths cannot drift apart).
+func obsFrame(obs sim.Observation) *proto.SensorFrame {
+	return &proto.SensorFrame{
+		Frame:   uint32(obs.Frame),
+		TimeSec: obs.TimeSec,
+		ImageW:  uint16(obs.Image.W),
+		ImageH:  uint16(obs.Image.H),
+		Pixels:  obs.Image.ToBytes(),
+		Speed:   obs.Speed,
+		GPSX:    obs.GPS.X,
+		GPSY:    obs.GPS.Y,
+		Lidar:   obs.Lidar,
+		Command: uint8(obs.Command),
+		Done:    obs.Done,
+		Status:  uint8(obs.Status),
+	}
+}
+
+// resultEnd converts a final sim result into its wire form.
+func resultEnd(res sim.Result) *proto.EpisodeEnd {
+	return &proto.EpisodeEnd{
+		Status:    uint8(res.Status),
+		Frames:    uint32(res.Frames),
+		DistanceM: res.DistanceM,
+	}
+}
+
 // ServeEpisode drives one episode over the connection until the mission
 // terminates, then sends EpisodeEnd and returns the result. The connection
 // is left open (the caller owns its lifecycle).
 func ServeEpisode(e *sim.Episode, conn transport.Conn) (sim.Result, error) {
 	for {
 		obs := e.Observe()
-		frame := &proto.SensorFrame{
-			Frame:   uint32(obs.Frame),
-			TimeSec: obs.TimeSec,
-			ImageW:  uint16(obs.Image.W),
-			ImageH:  uint16(obs.Image.H),
-			Pixels:  obs.Image.ToBytes(),
-			Speed:   obs.Speed,
-			GPSX:    obs.GPS.X,
-			GPSY:    obs.GPS.Y,
-			Lidar:   obs.Lidar,
-			Command: uint8(obs.Command),
-			Done:    obs.Done,
-			Status:  uint8(obs.Status),
-		}
-		if err := conn.Send(proto.EncodeSensorFrame(frame)); err != nil {
+		if err := conn.Send(proto.EncodeSensorFrame(obsFrame(obs))); err != nil {
 			return sim.Result{}, fmt.Errorf("simserver: send frame %d: %w", obs.Frame, err)
 		}
 		if obs.Done {
@@ -57,12 +72,7 @@ func ServeEpisode(e *sim.Episode, conn transport.Conn) (sim.Result, error) {
 	}
 
 	res := e.Result()
-	end := &proto.EpisodeEnd{
-		Status:    uint8(res.Status),
-		Frames:    uint32(res.Frames),
-		DistanceM: res.DistanceM,
-	}
-	if err := conn.Send(proto.EncodeEpisodeEnd(end)); err != nil {
+	if err := conn.Send(proto.EncodeEpisodeEnd(resultEnd(res))); err != nil {
 		// The episode finished; a lost end-notification is non-fatal.
 		if !errors.Is(err, transport.ErrClosed) {
 			return res, fmt.Errorf("simserver: send episode end: %w", err)
