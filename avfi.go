@@ -14,10 +14,17 @@
 //   - four classes of fault injectors — data (camera/GPS/speed), hardware
 //     (bit flips, stuck-at), timing (delay/drop/reorder on the control
 //     path) and machine-learning (weight noise and bit flips);
-//   - a persistent, session-multiplexed simulation engine: every campaign
-//     runs over exactly one server connection (and, over TCP, one
-//     listener), with concurrent episodes interleaved as protocol sessions
-//     rather than one transport per episode;
+//   - a sharded pool of persistent, session-multiplexed simulation
+//     engines: a campaign runs over one server connection per engine
+//     (and, over TCP, one listener each), with concurrent episodes
+//     interleaved as protocol sessions, least-loaded dispatch across
+//     engines (CampaignConfig.Pool), bounded retry of transient episode
+//     failures, and replacement of dead backends;
+//   - a streaming results pipeline: episode records flow through
+//     incremental per-cell aggregation and an optional RecordSink (e.g.
+//     NewJSONLSink), so a campaign can retain just a small fixed-size
+//     statistics digest per episode instead of full records
+//     (CampaignConfig.DiscardRecords);
 //   - campaign orchestration over either the classic flat injector sweep or
 //     a ScenarioMatrix (weather x traffic density x AEB x windowed fault
 //     activation x injector), with the paper's resilience metrics: Mission
@@ -101,8 +108,18 @@ type (
 	ScenarioCell = campaign.ScenarioCell
 	// Density is one traffic-population level of a scenario matrix.
 	Density = campaign.Density
-	// EngineStats describes the persistent engine's work for one campaign.
+	// EngineStats describes one persistent engine's work for a campaign
+	// (and, as ResultSet.Engine, the pool aggregate).
 	EngineStats = campaign.EngineStats
+	// PoolConfig shards a campaign across a pool of persistent engines and
+	// bounds per-episode retry after transient backend failures.
+	PoolConfig = campaign.PoolConfig
+	// PoolStats reports the engine pool's work: per-engine stats, episode
+	// retries, and backend replacements.
+	PoolStats = campaign.PoolStats
+	// RecordSink consumes episode records as they complete — the streaming
+	// results path for campaigns too large to retain in memory.
+	RecordSink = campaign.RecordSink
 )
 
 // Metrics.
@@ -114,6 +131,9 @@ type (
 	EpisodeRecord = metrics.EpisodeRecord
 	// Comparison is a bootstrap-backed baseline-vs-treatment contrast.
 	Comparison = metrics.Comparison
+	// ReportBuilder aggregates one scenario column incrementally; its Build
+	// matches batch BuildReport exactly, in any record-completion order.
+	ReportBuilder = metrics.ReportBuilder
 )
 
 // World and agent.
@@ -269,6 +289,20 @@ func WriteReportsCSV(w io.Writer, reports []Report) error {
 
 // WriteJSON emits a full result set as JSON.
 func WriteJSON(w io.Writer, rs *ResultSet) error { return campaign.WriteJSON(w, rs) }
+
+// NewJSONLSink returns a RecordSink streaming one JSON object per episode
+// to w as records complete — a durable per-episode log whose memory
+// footprint is independent of campaign size. Set it as
+// CampaignConfig.Sink (typically with DiscardRecords) for million-episode
+// sweeps. The caller keeps ownership of w.
+func NewJSONLSink(w io.Writer) RecordSink { return campaign.NewJSONLSink(w) }
+
+// NewReportBuilder starts an empty incremental aggregator for one scenario
+// column — for hand-rolled episode loops that want campaign-grade reports
+// without retaining records.
+func NewReportBuilder(injector string) *ReportBuilder {
+	return metrics.NewReportBuilder(injector)
+}
 
 // DefaultTopDownConfig views the whole town at 256x256.
 func DefaultTopDownConfig() TopDownConfig { return render.DefaultTopDownConfig() }

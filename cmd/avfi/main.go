@@ -6,12 +6,20 @@
 //	avfi -injectors all -records-csv records.csv -reports-csv reports.csv
 //	avfi -agent model.avfi -tcp -seed 7
 //	avfi -matrix -weathers clear,rain -densities 0x0,8x4 -aeb both
+//	avfi -engines 4 -retries 2 -stream-records records.jsonl
 //
 // With -matrix, the flat (injector x mission x repetition) grid becomes a
 // scenario matrix: every combination of -weathers, -densities, -aeb,
 // -activations and -injectors is swept as its own campaign column. All
-// episodes ride the persistent session-multiplexed engine — one connection
-// (and, with -tcp, one listener) for the entire campaign.
+// episodes ride a pool of persistent session-multiplexed engines — one
+// connection per engine (-engines, default 1; and, with -tcp, one listener
+// each) for the entire campaign, with least-loaded dispatch, bounded
+// episode retry (-retries) and replacement of dead backends. Results are
+// identical at any pool size for the same seed. -stream-records streams
+// every episode to a JSONL file as it completes; combined with neither
+// -records-csv nor -json, the campaign aggregates incrementally, keeping
+// only a small fixed-size statistics digest per episode instead of full
+// records.
 //
 // Without -agent, the driving agent is trained in-process from the oracle
 // autopilot first (about a minute); save one with avfi-train to skip that.
@@ -54,6 +62,9 @@ func run() error {
 		reportsCSV = flag.String("reports-csv", "", "write per-injector reports CSV here")
 		jsonPath   = flag.String("json", "", "write the full result set as JSON here")
 		parallel   = flag.Int("parallel", 0, "concurrent episodes (0 = NumCPU)")
+		engines    = flag.Int("engines", 1, "persistent engines in the pool (each its own server+connection)")
+		retries    = flag.Int("retries", 0, "per-episode retries after transient engine failures")
+		streamPath = flag.String("stream-records", "", "stream per-episode records to this JSONL file as they complete; without -records-csv/-json, records are not retained in memory")
 	)
 	flag.Parse()
 
@@ -99,7 +110,25 @@ func run() error {
 		Weather:        w,
 		UseTCP:         *useTCP,
 		Parallelism:    *parallel,
+		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries},
 		Seed:           *seed,
+	}
+	var streamFile *os.File
+	if *streamPath != "" {
+		f, err := os.Create(*streamPath)
+		if err != nil {
+			return err
+		}
+		// Backstop for early error returns; the success path closes
+		// explicitly below and checks the error (write-back failures can
+		// surface at close, and this file is the durable episode log).
+		defer f.Close()
+		streamFile = f
+		cfg.Sink = avfi.NewJSONLSink(f)
+		// With the records streamed to disk and no consumer of the
+		// in-memory copy, aggregate incrementally instead of retaining
+		// O(episodes) memory.
+		cfg.DiscardRecords = *recordsCSV == "" && *jsonPath == ""
 	}
 	columns := len(sources)
 	if *matrix {
@@ -121,8 +150,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "engine: %d episodes over one %s connection, up to %d multiplexed\n",
-		rs.Engine.Episodes, rs.Engine.Transport, rs.Engine.MaxConcurrentSessions)
+	// Pool.Engines lists dead and replaced engines too; count live ones.
+	poolSize := 0
+	for _, es := range rs.Pool.Engines {
+		if !es.Dead && !es.Replaced {
+			poolSize++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "engine pool: %d episodes over %d %s engine(s), up to %d multiplexed per connection\n",
+		rs.Engine.Episodes, poolSize, rs.Engine.Transport, rs.Engine.MaxConcurrentSessions)
+	if rs.Pool.Retries > 0 || rs.Pool.Replacements > 0 {
+		fmt.Fprintf(os.Stderr, "engine pool: %d episode retries, %d engine replacements\n",
+			rs.Pool.Retries, rs.Pool.Replacements)
+	}
 
 	avfi.PrintTable(os.Stdout, fmt.Sprintf("AVFI campaign (seed %d)", *seed), rs.Reports)
 
@@ -145,6 +185,11 @@ func run() error {
 			return avfi.WriteJSON(f, rs)
 		}); err != nil {
 			return err
+		}
+	}
+	if streamFile != nil {
+		if err := streamFile.Close(); err != nil {
+			return fmt.Errorf("stream-records: %w", err)
 		}
 	}
 	return nil

@@ -1,24 +1,27 @@
 // Package campaign orchestrates AVFI fault-injection campaigns on a
-// persistent, session-multiplexed simulation engine: one simserver.Server
-// and one simclient.Client share a single transport.Conn (and, over TCP, a
-// single listener) for the whole campaign, and a worker pool opens episodes
-// as protocol sessions — episode dispatch is O(1) in connections, the
-// throughput shape thousands-of-episodes resilience sweeps need.
+// sharded pool of persistent, session-multiplexed simulation engines: each
+// engine is one simserver.Server and one simclient.Client sharing a single
+// transport.Conn (and, over TCP, a single listener) for the whole campaign,
+// and a worker pool opens episodes as protocol sessions on the least-loaded
+// engine — episode dispatch is O(1) in connections and throughput shards
+// across PoolConfig.Engines backends, the shape million-episode resilience
+// sweeps need. Finished episodes stream through a results pipeline
+// (incremental per-cell aggregation plus an optional RecordSink), so a
+// campaign can shrink per-episode retention to a small fixed-size
+// statistics digest instead of full records (Config.DiscardRecords).
 //
 // Scenarios come from either the classic flat grid (injectors x missions x
 // repetitions) or a ScenarioMatrix crossing weather, traffic density, AEB
 // and windowed fault activation with the injector columns. Either way a
 // campaign is a pure function of its configuration: missions, episode seeds
 // and injector randomness all derive from Config.Seed, so every figure in
-// EXPERIMENTS.md regenerates bit-identically.
+// EXPERIMENTS.md regenerates bit-identically — at any pool size, on either
+// transport, with or without streaming.
 package campaign
 
 import (
 	"fmt"
 	"hash/fnv"
-	"runtime"
-	"sort"
-	"sync"
 
 	"github.com/avfi/avfi/internal/agent"
 	"github.com/avfi/avfi/internal/fault"
@@ -29,7 +32,6 @@ import (
 	"github.com/avfi/avfi/internal/sim"
 	"github.com/avfi/avfi/internal/simclient"
 	"github.com/avfi/avfi/internal/simserver"
-	"github.com/avfi/avfi/internal/transport"
 	"github.com/avfi/avfi/internal/world"
 )
 
@@ -80,8 +82,35 @@ type Config struct {
 	UseTCP bool
 	// Parallelism bounds concurrent episodes (0 = NumCPU).
 	Parallelism int
+	// Pool shards the campaign across persistent engines and bounds
+	// per-episode retry after transient failures; the zero value runs the
+	// classic single engine with no retries.
+	Pool PoolConfig
+	// Sink, when non-nil, receives every episode record as it completes
+	// (completion order, from a single aggregation goroutine). Combine with
+	// DiscardRecords for campaigns too large to retain in memory; see
+	// NewJSONLSink.
+	Sink RecordSink
+	// Progress, when non-nil, is called after each episode is folded into
+	// its cell's aggregate, with the cell label, episodes aggregated so
+	// far, and the cell's Welford running VPK mean/stddev — the live
+	// per-cell signal adaptive sampling hooks into. Called from the single
+	// aggregation goroutine; keep it fast.
+	Progress func(cell string, episodes int, meanVPK, stdVPK float64)
+	// DiscardRecords drops records after streaming aggregation:
+	// ResultSet.Records stays nil, and instead of full EpisodeRecords
+	// (violation lists and label strings) the campaign retains only each
+	// episode's fixed-size statistics digest — the ~64 bytes per episode
+	// the reports' exact quantiles require. Reports are built incrementally
+	// and match the retained path exactly.
+	DiscardRecords bool
 	// Seed drives all campaign randomness.
 	Seed uint64
+
+	// testFactoryWrap, when set (tests only), wraps each engine's episode
+	// factory — the hook fault-tolerance tests use to inject transient
+	// backend failures.
+	testFactoryWrap func(simserver.EpisodeFactory) simserver.EpisodeFactory
 }
 
 // AgentSource supplies the driving agent: either a ready instance or a
@@ -108,6 +137,9 @@ func (c Config) Validate() error {
 	if c.Missions <= 0 || c.Repetitions <= 0 {
 		return fmt.Errorf("campaign: missions=%d repetitions=%d must be positive", c.Missions, c.Repetitions)
 	}
+	if c.Pool.Engines < 0 || c.Pool.MaxRetries < 0 {
+		return fmt.Errorf("campaign: pool engines=%d retries=%d must be non-negative", c.Pool.Engines, c.Pool.MaxRetries)
+	}
 	if c.Agent.Agent == nil && c.Agent.Pretrain == nil {
 		return fmt.Errorf("campaign: no agent source")
 	}
@@ -128,26 +160,51 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// EngineStats describes the persistent engine's work for one campaign run.
+// EngineStats describes one persistent engine's work for a campaign run.
+// For pooled campaigns, ResultSet.Engine carries the pool aggregate
+// (episodes summed, concurrency high-water maxed) and ResultSet.Pool the
+// per-engine breakdown.
 type EngineStats struct {
+	// Engine is the engine's slot index in the pool (0 for single-engine
+	// campaigns and for the pool aggregate).
+	Engine int
 	// Transport is "pipe" or "tcp".
 	Transport string
-	// Episodes is how many sessions the engine served.
+	// Episodes is how many sessions the engine ran to completion —
+	// sessions aborted by factory failures, overflow drops or a dying
+	// connection are excluded, so under retry the pool aggregate normally
+	// matches the campaign's episode count. (One narrow exception: a
+	// backend that dies after finishing an episode whose completion never
+	// reached the client counts it here, and the retried episode counts
+	// again on the replacement engine.)
 	Episodes int
 	// MaxConcurrentSessions is the high-water mark of episodes multiplexed
-	// simultaneously over the campaign's single connection.
+	// simultaneously over the engine's connection.
 	MaxConcurrentSessions int
+	// FailedSessions counts sessions aborted server-side (SessionError).
+	FailedSessions int
+	// Dead reports the engine's backend was condemned (connection lost or
+	// Serve loop exited) during the campaign.
+	Dead bool
+	// Replaced reports the pool swapped a fresh engine into this dead
+	// engine's slot. Dead && !Replaced means the slot stayed out of
+	// service (replacement budget exhausted).
+	Replaced bool
 }
 
 // ResultSet is a finished campaign.
 type ResultSet struct {
-	// Records holds every episode in deterministic order.
+	// Records holds every episode in deterministic order (nil when
+	// Config.DiscardRecords streamed them instead of retaining them).
 	Records []metrics.EpisodeRecord
 	// Reports aggregates per scenario column (injector, or matrix-cell
 	// label), in the configured column order.
 	Reports []metrics.Report
-	// Engine reports how the persistent engine ran the campaign.
+	// Engine reports the engine pool's aggregate work.
 	Engine EngineStats
+	// Pool reports the sharded engine pool in detail: per-engine stats,
+	// episode retries, and backend replacements.
+	Pool PoolStats
 }
 
 // ReportFor returns the report for an injector name.
@@ -262,92 +319,6 @@ type job struct {
 	repetition int
 }
 
-// Run executes the full sweep on a persistent engine and aggregates
-// reports: one server, one client and one connection (plus, over TCP, one
-// listener) carry every episode of the campaign as multiplexed sessions.
-func (r *Runner) Run() (*ResultSet, error) {
-	jobs := make([]job, 0, len(r.cells)*len(r.missions)*r.cfg.Repetitions)
-	for i := range r.cells {
-		for m := range r.missions {
-			for rep := 0; rep < r.cfg.Repetitions; rep++ {
-				jobs = append(jobs, job{cellIdx: i, mission: m, repetition: rep})
-			}
-		}
-	}
-
-	parallelism := r.cfg.Parallelism
-	if parallelism <= 0 {
-		parallelism = runtime.NumCPU()
-	}
-	if parallelism > len(jobs) {
-		parallelism = len(jobs)
-	}
-
-	eng, err := r.startEngine()
-	if err != nil {
-		return nil, err
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		records  []metrics.EpisodeRecord
-		firstErr error
-	)
-	jobCh := make(chan job)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				rec, err := r.runEpisode(eng, j)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-				} else {
-					// Only successful episodes feed the aggregates; a
-					// zero-value record would silently pollute them.
-					records = append(records, rec)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	stats := eng.stats()
-	if err := eng.close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	// Deterministic order regardless of scheduling.
-	sort.Slice(records, func(a, b int) bool {
-		ra, rb := records[a], records[b]
-		if ra.Injector != rb.Injector {
-			return ra.Injector < rb.Injector
-		}
-		if ra.Mission != rb.Mission {
-			return ra.Mission < rb.Mission
-		}
-		return ra.Repetition < rb.Repetition
-	})
-
-	rs := &ResultSet{Records: records, Engine: stats}
-	grouped := metrics.GroupByInjector(records)
-	for _, c := range r.cells {
-		rs.Reports = append(rs.Reports, metrics.BuildReport(c.key, grouped[c.key]))
-	}
-	return rs, nil
-}
-
 // episodeSeed derives the deterministic seed for one job. The key is the
 // scenario column label (the bare injector name for flat campaigns, which
 // keeps historical suites reproducing bit-identically).
@@ -395,7 +366,7 @@ func (r *Runner) runEpisode(eng *engine, j job) (metrics.EpisodeRecord, error) {
 	}
 	res, ok := eng.server.Result(sid)
 	if !ok {
-		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: session %d finished without a server result", cell.key, j.mission, j.repetition, sid)
+		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: session %d: %w", cell.key, j.mission, j.repetition, sid, errNoResult)
 	}
 	injTime := float64(cell.src.InjectionFrame) * sim.Dt
 	return metrics.FromSimResult(cell.key, j.mission, j.repetition, seed, res, injTime), nil
@@ -426,93 +397,4 @@ func Instantiate(src InjectorSource) (interface{}, error) {
 		return nil, err
 	}
 	return spec.New(), nil
-}
-
-// engine is a campaign's persistent simulation engine: one multiplexed
-// server, one session client, and exactly one connection between them for
-// the whole sweep (plus one listener when running over TCP).
-type engine struct {
-	server     *simserver.Server
-	client     *simclient.Client
-	serverConn transport.Conn
-	listener   *transport.Listener
-	serveCh    chan error
-	transport  string
-}
-
-// startEngine wires the server and client over the configured transport and
-// starts serving sessions.
-func (r *Runner) startEngine() (*engine, error) {
-	factory := func(open *proto.OpenEpisode) (*sim.Episode, error) {
-		return r.world.NewEpisode(sim.EpisodeConfig{
-			From: world.NodeID(open.From), To: world.NodeID(open.To),
-			Seed:           open.Seed,
-			Weather:        world.Weather(open.Weather),
-			NumNPCs:        int(open.NumNPCs),
-			NumPedestrians: int(open.NumPedestrians),
-			TimeoutSec:     open.TimeoutSec,
-			GoalRadius:     open.GoalRadius,
-		})
-	}
-	eng := &engine{server: simserver.NewServer(factory), serveCh: make(chan error, 1)}
-
-	var clientConn transport.Conn
-	if r.cfg.UseTCP {
-		eng.transport = "tcp"
-		l, err := transport.Listen("127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-		eng.listener = l
-		acceptCh := make(chan transport.Conn, 1)
-		acceptErr := make(chan error, 1)
-		go func() {
-			c, err := l.Accept()
-			if err != nil {
-				acceptErr <- err
-				return
-			}
-			acceptCh <- c
-		}()
-		clientConn, err = transport.Dial(l.Addr())
-		if err != nil {
-			l.Close()
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-		select {
-		case eng.serverConn = <-acceptCh:
-		case err := <-acceptErr:
-			clientConn.Close()
-			l.Close()
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-	} else {
-		eng.transport = "pipe"
-		eng.serverConn, clientConn = transport.Pipe()
-	}
-
-	go func() { eng.serveCh <- eng.server.Serve(eng.serverConn) }()
-	eng.client = simclient.NewClient(clientConn)
-	return eng, nil
-}
-
-// stats snapshots the engine's work so far.
-func (e *engine) stats() EngineStats {
-	return EngineStats{
-		Transport:             e.transport,
-		Episodes:              e.server.TotalSessions(),
-		MaxConcurrentSessions: e.server.MaxConcurrent(),
-	}
-}
-
-// close tears the engine down: closing the client's connection is the
-// shutdown signal the server drains on.
-func (e *engine) close() error {
-	e.client.Close()
-	err := <-e.serveCh
-	e.serverConn.Close()
-	if e.listener != nil {
-		e.listener.Close()
-	}
-	return err
 }

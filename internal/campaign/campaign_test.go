@@ -23,23 +23,23 @@ func tinyWorldConfig() sim.WorldConfig {
 
 // tinyAgent returns an untrained agent matching the tiny camera — campaign
 // mechanics don't require driving skill.
-func tinyAgent(t *testing.T) *agent.Agent {
-	t.Helper()
+func tinyAgent(tb testing.TB) *agent.Agent {
+	tb.Helper()
 	a, err := agent.New(agent.Config{
 		ImageW: 16, ImageH: 12, Conv1: 4, Conv2: 4,
 		FeatDim: 8, MeasDim: 4, HeadHidden: 8, Seed: 11,
 	})
 	if err != nil {
-		t.Fatal(err)
+		tb.Fatal(err)
 	}
 	return a
 }
 
-func tinyConfig(t *testing.T, injectors []InjectorSource) Config {
-	t.Helper()
+func tinyConfig(tb testing.TB, injectors []InjectorSource) Config {
+	tb.Helper()
 	return Config{
 		World:       tinyWorldConfig(),
-		Agent:       AgentSource{Agent: tinyAgent(t)},
+		Agent:       AgentSource{Agent: tinyAgent(tb)},
 		Injectors:   injectors,
 		Missions:    2,
 		Repetitions: 2,

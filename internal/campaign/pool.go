@@ -1,0 +1,320 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/simclient"
+	"github.com/avfi/avfi/internal/simserver"
+	"github.com/avfi/avfi/internal/transport"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// PoolConfig shards a campaign across a pool of persistent engines.
+type PoolConfig struct {
+	// Engines is how many persistent engines (each its own simserver.Server,
+	// simclient.Client and connection) the campaign spreads episodes over
+	// with least-loaded dispatch. 0 or 1 runs the classic single engine.
+	Engines int
+	// MaxRetries bounds how many times one episode is re-dispatched after a
+	// transient failure (server-side session abort, dead engine connection)
+	// before the whole campaign fails. 0 disables retry.
+	MaxRetries int
+}
+
+// PoolStats describes the engine pool's work for one campaign run. The
+// pool-wide episode total lives in ResultSet.Engine (the aggregate
+// EngineStats), not here.
+type PoolStats struct {
+	// Engines holds per-engine stats: live slots first (in slot order),
+	// then any engines that died mid-campaign and were replaced.
+	Engines []EngineStats
+	// Retries counts episode re-dispatches after transient failures.
+	Retries int
+	// Replacements counts engines that died and were swapped for a fresh
+	// backend.
+	Replacements int
+}
+
+// engine is one slot of a campaign's engine pool: a persistent simulation
+// backend — one multiplexed server, one session client, and exactly one
+// connection between them (plus one listener when running over TCP).
+type engine struct {
+	id         int
+	server     *simserver.Server
+	client     *simclient.Client
+	serverConn transport.Conn
+	listener   *transport.Listener
+	serveCh    chan error
+	transport  string
+
+	// Pool bookkeeping; guarded by the owning pool's mutex.
+	inflight int
+	dead     bool
+}
+
+// startEngine wires one server and client over the configured transport and
+// starts serving sessions.
+func (r *Runner) startEngine() (*engine, error) {
+	factory := func(open *proto.OpenEpisode) (*sim.Episode, error) {
+		return r.world.NewEpisode(sim.EpisodeConfig{
+			From: world.NodeID(open.From), To: world.NodeID(open.To),
+			Seed:           open.Seed,
+			Weather:        world.Weather(open.Weather),
+			NumNPCs:        int(open.NumNPCs),
+			NumPedestrians: int(open.NumPedestrians),
+			TimeoutSec:     open.TimeoutSec,
+			GoalRadius:     open.GoalRadius,
+		})
+	}
+	if r.cfg.testFactoryWrap != nil {
+		factory = r.cfg.testFactoryWrap(factory)
+	}
+	eng := &engine{server: simserver.NewServer(factory), serveCh: make(chan error, 1)}
+
+	var clientConn transport.Conn
+	if r.cfg.UseTCP {
+		eng.transport = "tcp"
+		l, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		eng.listener = l
+		acceptCh := make(chan transport.Conn, 1)
+		acceptErr := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			acceptCh <- c
+		}()
+		clientConn, err = transport.Dial(l.Addr())
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		select {
+		case eng.serverConn = <-acceptCh:
+		case err := <-acceptErr:
+			clientConn.Close()
+			l.Close()
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+	} else {
+		eng.transport = "pipe"
+		eng.serverConn, clientConn = transport.Pipe()
+	}
+
+	go func() { eng.serveCh <- eng.server.Serve(eng.serverConn) }()
+	eng.client = simclient.NewClient(clientConn)
+	return eng, nil
+}
+
+// stats snapshots the engine's work so far.
+func (e *engine) stats() EngineStats {
+	return EngineStats{
+		Engine:                e.id,
+		Transport:             e.transport,
+		Episodes:              e.server.CompletedSessions(),
+		MaxConcurrentSessions: e.server.MaxConcurrent(),
+		FailedSessions:        e.server.FailedSessions(),
+	}
+}
+
+// close tears the engine down: closing the client's connection is the
+// shutdown signal the server drains on.
+func (e *engine) close() error {
+	e.client.Close()
+	err := <-e.serveCh
+	e.serverConn.Close()
+	if e.listener != nil {
+		e.listener.Close()
+	}
+	return err
+}
+
+// healthy reports whether the engine's backend is still serving: not
+// condemned, client demux loop alive, server Serve loop still running.
+func (e *engine) healthy() bool {
+	return !e.dead && e.client.Err() == nil && !e.server.Done()
+}
+
+// backendErr reports why a dead engine's backend stopped, whichever side
+// noticed first.
+func (e *engine) backendErr() error {
+	if err := e.client.Err(); err != nil {
+		return err
+	}
+	if err := e.server.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("connection lost")
+}
+
+// enginePool shards campaign episodes over N persistent engines with
+// least-loaded dispatch. When an engine's backend dies mid-campaign the
+// pool retires it and starts a fresh engine in its slot, within a bounded
+// replacement budget, so one dead backend degrades the campaign instead of
+// killing it.
+type enginePool struct {
+	start func() (*engine, error)
+
+	mu              sync.Mutex
+	engines         []*engine // live slots, fixed length
+	retired         []*engine // replaced engines, kept for stats and close
+	retries         int
+	replacements    int
+	maxReplacements int
+}
+
+// newEnginePool starts n engines. On any startup failure the already
+// started engines are torn down.
+func newEnginePool(start func() (*engine, error), n int) (*enginePool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &enginePool{start: start, maxReplacements: 2 * n}
+	for i := 0; i < n; i++ {
+		e, err := start()
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("campaign: engine %d: %w", i, err)
+		}
+		e.id = i
+		p.engines = append(p.engines, e)
+	}
+	return p, nil
+}
+
+// acquire returns the least-loaded live engine, first replacing any dead
+// ones within the replacement budget. A dead slot that cannot be revived
+// (budget exhausted, or the fresh backend failed to start) degrades the
+// pool instead of failing it: dispatch continues on the remaining live
+// engines, and acquire errors only when none are left. The caller must
+// release the engine.
+func (p *enginePool) acquire() (*engine, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *engine
+	var lastErr error
+	for i, e := range p.engines {
+		if !e.healthy() {
+			ne, err := p.replaceLocked(i)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			e = ne
+		}
+		if best == nil || e.inflight < best.inflight {
+			best = e
+		}
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, fmt.Errorf("campaign: engine pool is empty")
+	}
+	best.inflight++
+	return best, nil
+}
+
+// release returns an engine acquired with acquire.
+func (p *enginePool) release(e *engine) {
+	p.mu.Lock()
+	e.inflight--
+	p.mu.Unlock()
+}
+
+// fail marks an engine's backend dead; the next acquire replaces it.
+func (p *enginePool) fail(e *engine) {
+	p.mu.Lock()
+	e.dead = true
+	p.mu.Unlock()
+}
+
+// noteRetry counts one episode re-dispatch.
+func (p *enginePool) noteRetry() {
+	p.mu.Lock()
+	p.retries++
+	p.mu.Unlock()
+}
+
+// replaceLocked swaps slot i's dead engine for a fresh backend. The dead
+// engine stays in its slot if the budget is exhausted or the replacement
+// fails to start; acquire then skips it. Requires p.mu — engine startup is
+// a pipe allocation or one loopback dial, microseconds against the seconds
+// an episode runs, and backend death is exceptional, so blocking the pool
+// briefly beats unlock/relock juggling.
+func (p *enginePool) replaceLocked(i int) (*engine, error) {
+	old := p.engines[i]
+	old.dead = true
+	if p.replacements >= p.maxReplacements {
+		return nil, fmt.Errorf("campaign: engine pool: replacement budget (%d) exhausted; last backend error: %v",
+			p.maxReplacements, old.backendErr())
+	}
+	ne, err := p.start()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: replacing engine %d: %w", i, err)
+	}
+	ne.id = i
+	p.engines[i] = ne
+	p.retired = append(p.retired, old)
+	p.replacements++
+	return ne, nil
+}
+
+// snapshot reports the pool's work: per-engine stats plus the aggregate
+// EngineStats that keeps ResultSet.Engine meaningful for pooled runs
+// (episodes summed, concurrency high-water maxed across engines).
+func (p *enginePool) snapshot() (PoolStats, EngineStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps := PoolStats{Retries: p.retries, Replacements: p.replacements}
+	var agg EngineStats
+	collect := func(e *engine, replaced bool) {
+		es := e.stats()
+		es.Dead = !e.healthy()
+		es.Replaced = replaced
+		ps.Engines = append(ps.Engines, es)
+		agg.Episodes += es.Episodes
+		agg.FailedSessions += es.FailedSessions
+		if es.MaxConcurrentSessions > agg.MaxConcurrentSessions {
+			agg.MaxConcurrentSessions = es.MaxConcurrentSessions
+		}
+		agg.Transport = es.Transport
+	}
+	for _, e := range p.engines {
+		collect(e, false)
+	}
+	for _, e := range p.retired {
+		collect(e, true)
+	}
+	return ps, agg
+}
+
+// close tears down every engine, live and retired. It returns the first
+// shutdown error from a live engine; retired engines' errors are the
+// failures the pool already recovered from and are dropped.
+func (p *enginePool) close() error {
+	p.mu.Lock()
+	live := p.engines
+	retired := p.retired
+	p.engines, p.retired = nil, nil
+	p.mu.Unlock()
+	var firstErr error
+	for _, e := range live {
+		if err := e.close(); err != nil && firstErr == nil && !e.dead {
+			firstErr = err
+		}
+	}
+	for _, e := range retired {
+		_ = e.close()
+	}
+	return firstErr
+}

@@ -1,0 +1,196 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+
+	"github.com/avfi/avfi/internal/metrics"
+	"github.com/avfi/avfi/internal/simclient"
+	"github.com/avfi/avfi/internal/transport"
+)
+
+// errNoResult marks an episode whose session ended without a server-side
+// result — the signature of an engine dying mid-episode.
+var errNoResult = errors.New("session finished without a server result")
+
+// transientEpisodeError reports whether err is a per-episode failure the
+// scheduler may re-dispatch (bounded by PoolConfig.MaxRetries) rather than
+// failing the campaign: server-side session aborts and dead-connection
+// errors. A scenario-deterministic failure retries to the same outcome and
+// exhausts the bounded budget, so misclassification only costs a few
+// attempts, never correctness.
+func transientEpisodeError(err error) bool {
+	var se *simclient.SessionError
+	return errors.As(err, &se) ||
+		errors.Is(err, simclient.ErrClientClosed) ||
+		errors.Is(err, transport.ErrClosed) ||
+		errors.Is(err, io.EOF) ||
+		// A TCP backend dying mid-frame surfaces as a partial read, a
+		// reset, or a broken pipe — never a clean EOF.
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, errNoResult)
+}
+
+// jobs expands the campaign's full episode list in deterministic order.
+func (r *Runner) jobs() []job {
+	jobs := make([]job, 0, len(r.cells)*len(r.missions)*r.cfg.Repetitions)
+	for i := range r.cells {
+		for m := range r.missions {
+			for rep := 0; rep < r.cfg.Repetitions; rep++ {
+				jobs = append(jobs, job{cellIdx: i, mission: m, repetition: rep})
+			}
+		}
+	}
+	return jobs
+}
+
+// scheduler dispatches episodes onto the engine pool with bounded retry of
+// transient failures.
+type scheduler struct {
+	pool       *enginePool
+	run        func(*engine, job) (metrics.EpisodeRecord, error)
+	maxRetries int
+}
+
+// runJob executes one episode, re-dispatching it (onto the then
+// least-loaded, possibly freshly replaced engine) after transient failures.
+// Episodes are a pure function of their seed, so a retried episode produces
+// the identical record a first-try success would have.
+func (s *scheduler) runJob(ctx context.Context, j job) (metrics.EpisodeRecord, error) {
+	for attempt := 0; ; attempt++ {
+		if err := context.Cause(ctx); err != nil {
+			return metrics.EpisodeRecord{}, err
+		}
+		eng, err := s.pool.acquire()
+		if err != nil {
+			return metrics.EpisodeRecord{}, err
+		}
+		rec, err := s.run(eng, j)
+		if err != nil && eng.client.Err() != nil {
+			// The engine's connection is gone: condemn the backend, not
+			// just this episode.
+			s.pool.fail(eng)
+		}
+		s.pool.release(eng)
+		if err == nil {
+			return rec, nil
+		}
+		if !transientEpisodeError(err) || attempt >= s.maxRetries {
+			return metrics.EpisodeRecord{}, err
+		}
+		s.pool.noteRetry()
+	}
+}
+
+// Run executes the full sweep and aggregates reports; it is RunContext
+// without external cancellation.
+func (r *Runner) Run() (*ResultSet, error) { return r.RunContext(context.Background()) }
+
+// RunContext executes the full sweep on a sharded pool of persistent
+// engines (PoolConfig.Engines servers/clients/connections; one for the
+// classic single-engine shape) and streams every finished episode through
+// the results pipeline: incremental per-cell aggregation, the optional
+// RecordSink, and — unless Config.DiscardRecords — retention for
+// ResultSet.Records.
+//
+// The first fatal episode error cancels dispatch: in-flight episodes
+// finish, the remaining job list is abandoned, and the error is returned.
+// Cancelling ctx does the same with ctx's cause. Transient failures
+// (session aborts, dead backends) are retried within PoolConfig.MaxRetries
+// and dead engines are replaced, so one lost backend costs a re-dispatch,
+// not the campaign.
+func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
+	jobs := r.jobs()
+
+	parallelism := r.cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	engines := r.cfg.Pool.Engines
+	if engines > parallelism {
+		// Engines beyond the worker count would never be dispatched to.
+		engines = parallelism
+	}
+
+	pool, err := newEnginePool(r.startEngine, engines)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	// A broken sink cancels dispatch: finishing thousands of episodes whose
+	// streamed records are being dropped would be pure waste.
+	pipe := newSinkPipeline(r.cells, r.cfg.Sink, !r.cfg.DiscardRecords, parallelism,
+		func(err error) { cancel(err) }, r.cfg.Progress)
+	sched := &scheduler{pool: pool, run: r.runEpisode, maxRetries: r.cfg.Pool.MaxRetries}
+
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var j job
+				var ok bool
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok = <-jobCh:
+					if !ok {
+						return
+					}
+				}
+				rec, err := sched.runJob(ctx, j)
+				if err != nil {
+					cancel(err)
+					return
+				}
+				pipe.consume(ctx, rec)
+			}
+		}()
+	}
+feed:
+	for _, j := range jobs {
+		select {
+		case jobCh <- j:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	poolStats, engineAgg := pool.snapshot()
+	closeErr := pool.close()
+	if cause := context.Cause(ctx); cause != nil {
+		// The campaign is aborting: don't wait for the pipeline to drain —
+		// a cancellation caused by a wedged sink would never finish.
+		pipe.abandon()
+		return nil, cause
+	}
+	records, reports, sinkErr := pipe.finish()
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+	return &ResultSet{
+		Records: records,
+		Reports: reports,
+		Engine:  engineAgg,
+		Pool:    poolStats,
+	}, nil
+}

@@ -1,0 +1,184 @@
+package campaign
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/avfi/avfi/internal/metrics"
+)
+
+// RecordSink consumes episode records as they complete, in completion
+// order. The campaign funnels all records through a single aggregation
+// goroutine, so implementations need not be safe for concurrent use. Close
+// is called once, when the campaign ends or aborts, even after a Consume
+// error — so the log's tail is flushed whether the run succeeded or not.
+// (The one exception: a sink wedged inside a blocking Consume while the
+// campaign aborts is abandoned after a grace period rather than allowed to
+// hang the caller.)
+type RecordSink interface {
+	// Consume receives one finished episode.
+	Consume(rec metrics.EpisodeRecord) error
+	// Close flushes the sink.
+	Close() error
+}
+
+// jsonlSink streams records as JSON Lines through a buffered writer.
+type jsonlSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a RecordSink writing one JSON object per line to w —
+// a durable per-episode log whose memory footprint is independent of
+// campaign size. The caller keeps ownership of w: Close flushes buffering
+// but does not close the underlying writer.
+func NewJSONLSink(w io.Writer) RecordSink {
+	bw := bufio.NewWriter(w)
+	return &jsonlSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Consume implements RecordSink.
+func (s *jsonlSink) Consume(rec metrics.EpisodeRecord) error { return s.enc.Encode(rec) }
+
+// Close implements RecordSink.
+func (s *jsonlSink) Close() error { return s.bw.Flush() }
+
+// sinkPipeline is the campaign's streaming results path: workers push
+// finished episodes into a channel and one aggregation goroutine folds each
+// record into its cell's metrics.ReportBuilder, forwards it to the optional
+// RecordSink, and (unless records are discarded) retains it for the
+// ResultSet. Aggregation is incremental: with DiscardRecords the pipeline
+// keeps only a fixed-size per-episode digest (exact quantiles need that
+// much) instead of full records, and the durable episode log streams
+// through the sink at O(1) memory.
+type sinkPipeline struct {
+	ch   chan metrics.EpisodeRecord
+	done chan struct{}
+
+	cells    []runCell
+	builders map[string]*metrics.ReportBuilder
+	keep     bool
+	records  []metrics.EpisodeRecord
+	sink     RecordSink
+	broken   bool // sink failed; stop writing, keep draining
+	err      error
+	onErr    func(error) // called once, on the first sink failure
+	progress func(cell string, episodes int, meanVPK, stdVPK float64)
+}
+
+// newSinkPipeline starts the aggregation goroutine. keep retains records
+// for ResultSet.Records; buffer sizes the hand-off channel; onErr (may be
+// nil) is notified of the first sink failure so the caller can stop
+// dispatching episodes whose streamed records would be lost; progress (may
+// be nil) sees each cell's running aggregate as episodes land.
+func newSinkPipeline(cells []runCell, sink RecordSink, keep bool, buffer int,
+	onErr func(error), progress func(string, int, float64, float64)) *sinkPipeline {
+	p := &sinkPipeline{
+		ch:       make(chan metrics.EpisodeRecord, buffer),
+		done:     make(chan struct{}),
+		cells:    cells,
+		builders: make(map[string]*metrics.ReportBuilder, len(cells)),
+		keep:     keep,
+		sink:     sink,
+		onErr:    onErr,
+		progress: progress,
+	}
+	for _, c := range cells {
+		if _, ok := p.builders[c.key]; !ok {
+			p.builders[c.key] = metrics.NewReportBuilder(c.key)
+		}
+	}
+	go p.loop()
+	return p
+}
+
+// loop drains the record channel until it closes, then closes the sink —
+// the aggregation goroutine owns the sink end to end, so the durable log's
+// tail is flushed on the finish and abandon paths alike. It never blocks
+// the campaign on a failed sink: the first Consume error is recorded,
+// onErr is told (so the scheduler stops dispatching instead of burning
+// episodes whose streamed records would be lost), and in-flight records
+// keep draining.
+func (p *sinkPipeline) loop() {
+	defer close(p.done)
+	for rec := range p.ch {
+		if b, ok := p.builders[rec.Injector]; ok {
+			b.Add(rec)
+			if p.progress != nil {
+				mean, std, n := b.RunningVPK()
+				p.progress(rec.Injector, n, mean, std)
+			}
+		}
+		if p.keep {
+			p.records = append(p.records, rec)
+		}
+		if p.sink != nil && !p.broken {
+			if err := p.sink.Consume(rec); err != nil {
+				p.err = fmt.Errorf("campaign: record sink: %w", err)
+				p.broken = true
+				if p.onErr != nil {
+					p.onErr(p.err)
+				}
+			}
+		}
+	}
+	if p.sink != nil {
+		if err := p.sink.Close(); err != nil && p.err == nil {
+			p.err = fmt.Errorf("campaign: record sink: %w", err)
+		}
+	}
+}
+
+// consume hands one finished episode to the aggregation goroutine. The
+// hand-off aborts when ctx is cancelled, so a sink that blocks (rather
+// than errors) can never wedge the campaign beyond the caller's ability to
+// cancel it.
+func (p *sinkPipeline) consume(ctx context.Context, rec metrics.EpisodeRecord) {
+	select {
+	case p.ch <- rec:
+	case <-ctx.Done():
+	}
+}
+
+// abandon releases the pipeline without collecting results, giving the
+// aggregation goroutine a bounded grace period to drain and close the sink
+// (flushing the durable log's tail for the episodes that did finish). A
+// sink wedged inside a blocking Consume exhausts the grace period and is
+// left behind rather than allowed to hang the aborting campaign.
+func (p *sinkPipeline) abandon() {
+	close(p.ch)
+	select {
+	case <-p.done:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// finish closes the pipeline and returns the retained records in the
+// deterministic campaign order (nil when discarded), the per-cell reports
+// in configured cell order, and the first sink error (the aggregation
+// goroutine has already closed the sink by the time done is signalled).
+func (p *sinkPipeline) finish() ([]metrics.EpisodeRecord, []metrics.Report, error) {
+	close(p.ch)
+	<-p.done
+	// Deterministic order regardless of scheduling.
+	sort.Slice(p.records, func(a, b int) bool {
+		ra, rb := p.records[a], p.records[b]
+		if ra.Injector != rb.Injector {
+			return ra.Injector < rb.Injector
+		}
+		if ra.Mission != rb.Mission {
+			return ra.Mission < rb.Mission
+		}
+		return ra.Repetition < rb.Repetition
+	})
+	var reports []metrics.Report
+	for _, c := range p.cells {
+		reports = append(reports, p.builders[c.key].Build())
+	}
+	return p.records, reports, p.err
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"github.com/avfi/avfi/internal/stats"
+)
+
+// episodeStat is the per-episode digest a ReportBuilder retains: every
+// number a Report needs, without the violation list or label strings —
+// a few dozen bytes per episode instead of a full EpisodeRecord, so a
+// streaming campaign's aggregation memory stays far below record retention.
+type episodeStat struct {
+	mission    int
+	repetition int
+	success    bool
+	vpk        float64
+	apk        float64
+	ttv        float64
+	hasTTV     bool
+	violations int
+	km         float64
+}
+
+// ReportBuilder accumulates one scenario column's episode records
+// incrementally, in any completion order, and produces a Report identical
+// to BuildReport over the deterministically-sorted batch of the same
+// records. It is the per-cell unit of the campaign's streaming results
+// pipeline: records can be aggregated and dropped as they finish instead of
+// being retained until the end of a million-episode sweep.
+//
+// A stats.Welford accumulator tracks the running per-episode VPK alongside
+// the exact digests, so in-flight campaigns can report progress (see
+// RunningVPK, surfaced live through campaign Config.Progress) without
+// building a full Report.
+type ReportBuilder struct {
+	injector string
+	eps      []episodeStat
+	running  stats.Welford
+}
+
+// NewReportBuilder starts an empty builder for one scenario column.
+func NewReportBuilder(injector string) *ReportBuilder {
+	return &ReportBuilder{injector: injector}
+}
+
+// Add folds one episode into the builder.
+func (b *ReportBuilder) Add(r EpisodeRecord) {
+	s := episodeStat{
+		mission:    r.Mission,
+		repetition: r.Repetition,
+		success:    r.Success,
+		vpk:        r.VPK(),
+		apk:        r.APK(),
+		violations: len(r.Violations),
+		km:         r.DistanceKM,
+	}
+	s.ttv, s.hasTTV = r.TTV()
+	b.eps = append(b.eps, s)
+	b.running.Add(s.vpk)
+}
+
+// Episodes reports how many records have been added.
+func (b *ReportBuilder) Episodes() int { return len(b.eps) }
+
+// RunningVPK reports the Welford running mean and standard deviation of the
+// per-episode VPK seen so far — cheap mid-campaign progress, no Build.
+func (b *ReportBuilder) RunningVPK() (mean, stddev float64, n int) {
+	return b.running.Mean(), b.running.StdDev(), b.running.N()
+}
+
+// Build produces the column's Report. Episodes are re-ordered by (mission,
+// repetition) first, so the result is bit-identical to BuildReport over
+// records sorted the way the campaign runner sorts them — regardless of the
+// order episodes completed and were added.
+func (b *ReportBuilder) Build() Report {
+	rep := Report{Injector: b.injector, Episodes: len(b.eps)}
+	if len(b.eps) == 0 {
+		return rep
+	}
+	eps := append([]episodeStat(nil), b.eps...)
+	sort.SliceStable(eps, func(i, j int) bool {
+		if eps[i].mission != eps[j].mission {
+			return eps[i].mission < eps[j].mission
+		}
+		return eps[i].repetition < eps[j].repetition
+	})
+	vpks := make([]float64, 0, len(eps))
+	apks := make([]float64, 0, len(eps))
+	var ttvs []float64
+	successes := 0
+	for _, e := range eps {
+		if e.success {
+			successes++
+		}
+		vpks = append(vpks, e.vpk)
+		apks = append(apks, e.apk)
+		if e.hasTTV {
+			ttvs = append(ttvs, e.ttv)
+		}
+		rep.TotalViolations += e.violations
+		rep.TotalKM += e.km
+	}
+	rep.MSR = 100 * float64(successes) / float64(len(eps))
+	rep.MeanVPK = stats.Mean(vpks)
+	rep.VPK = stats.Summary(vpks)
+	rep.MeanAPK = stats.Mean(apks)
+	rep.APK = stats.Summary(apks)
+	rep.MeanTTV = stats.Mean(ttvs)
+	rep.TTV = stats.Summary(ttvs)
+	rep.TTVEpisodes = len(ttvs)
+	rep.AggregateVPK = float64(rep.TotalViolations) / math.Max(rep.TotalKM, minKM)
+	return rep
+}

@@ -18,7 +18,6 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/avfi/avfi/internal/sim"
 	"github.com/avfi/avfi/internal/stats"
@@ -140,60 +139,15 @@ type Report struct {
 	AggregateVPK float64
 }
 
-// BuildReport aggregates records (all from one injector).
+// BuildReport aggregates records (all from one injector). It is the batch
+// form of ReportBuilder: both paths share one implementation, so streaming
+// aggregation matches batch aggregation exactly.
 func BuildReport(injector string, records []EpisodeRecord) Report {
-	rep := Report{Injector: injector, Episodes: len(records)}
-	if len(records) == 0 {
-		return rep
-	}
-	var vpks, apks, ttvs []float64
-	successes := 0
+	b := NewReportBuilder(injector)
 	for _, r := range records {
-		if r.Success {
-			successes++
-		}
-		vpks = append(vpks, r.VPK())
-		apks = append(apks, r.APK())
-		if ttv, ok := r.TTV(); ok {
-			ttvs = append(ttvs, ttv)
-		}
-		rep.TotalViolations += len(r.Violations)
-		rep.TotalKM += r.DistanceKM
+		b.Add(r)
 	}
-	rep.MSR = 100 * float64(successes) / float64(len(records))
-	rep.MeanVPK = stats.Mean(vpks)
-	rep.VPK = stats.Summary(vpks)
-	rep.MeanAPK = stats.Mean(apks)
-	rep.APK = stats.Summary(apks)
-	rep.MeanTTV = stats.Mean(ttvs)
-	rep.TTV = stats.Summary(ttvs)
-	rep.TTVEpisodes = len(ttvs)
-	rep.AggregateVPK = float64(rep.TotalViolations) / math.Max(rep.TotalKM, minKM)
-	return rep
-}
-
-// GroupByInjector splits records per injector, preserving nothing about
-// order; use Injectors for a deterministic iteration order.
-func GroupByInjector(records []EpisodeRecord) map[string][]EpisodeRecord {
-	out := make(map[string][]EpisodeRecord)
-	for _, r := range records {
-		out[r.Injector] = append(out[r.Injector], r)
-	}
-	return out
-}
-
-// Injectors returns the distinct injector names in sorted order.
-func Injectors(records []EpisodeRecord) []string {
-	seen := map[string]bool{}
-	var names []string
-	for _, r := range records {
-		if !seen[r.Injector] {
-			seen[r.Injector] = true
-			names = append(names, r.Injector)
-		}
-	}
-	sort.Strings(names)
-	return names
+	return b.Build()
 }
 
 // String renders the report as one table row.

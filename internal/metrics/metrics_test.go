@@ -106,17 +106,41 @@ func TestBuildReportEmpty(t *testing.T) {
 	}
 }
 
-func TestGroupAndInjectors(t *testing.T) {
-	records := []EpisodeRecord{
-		{Injector: "b"}, {Injector: "a"}, {Injector: "b"},
+func TestReportBuilderMatchesBatchAnyOrder(t *testing.T) {
+	var records []EpisodeRecord
+	for m := 0; m < 4; m++ {
+		for rep := 0; rep < 3; rep++ {
+			r := rec(m%2 == 0, 0.5+float64(m)*0.25, []float64{float64(rep) + 1}, rep%2)
+			r.Mission, r.Repetition = m, rep
+			r.InjectionTimeSec = 0.5
+			records = append(records, r)
+		}
 	}
-	groups := GroupByInjector(records)
-	if len(groups["b"]) != 2 || len(groups["a"]) != 1 {
-		t.Errorf("groups = %v", groups)
+	want := BuildReport("test", records)
+
+	// Feed the builder in reversed (i.e. non-canonical completion) order;
+	// Build must still equal the sorted batch exactly.
+	b := NewReportBuilder("test")
+	for i := len(records) - 1; i >= 0; i-- {
+		b.Add(records[i])
 	}
-	names := Injectors(records)
-	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
-		t.Errorf("Injectors = %v", names)
+	if b.Episodes() != len(records) {
+		t.Fatalf("Episodes = %d, want %d", b.Episodes(), len(records))
+	}
+	got := b.Build()
+	if got != want {
+		t.Errorf("builder diverged from batch:\n got %+v\nwant %+v", got, want)
+	}
+
+	mean, stddev, n := b.RunningVPK()
+	if n != len(records) {
+		t.Errorf("RunningVPK n = %d, want %d", n, len(records))
+	}
+	if math.Abs(mean-want.MeanVPK) > 1e-9 {
+		t.Errorf("RunningVPK mean = %v, batch mean = %v", mean, want.MeanVPK)
+	}
+	if stddev <= 0 {
+		t.Errorf("RunningVPK stddev = %v, want > 0", stddev)
 	}
 }
 

@@ -13,6 +13,29 @@ import (
 // gone before the episode completed.
 var ErrClientClosed = errors.New("simclient: client closed")
 
+// SessionError is a server-side, per-session failure (e.g. the episode
+// factory rejected the scenario) relayed to that session's RunEpisode call.
+// The engine itself survives it: only this episode failed, so campaign
+// schedulers treat it as transient and may re-dispatch the episode.
+type SessionError struct {
+	// SID is the failed session.
+	SID uint32
+	// Reason is the server's diagnostic.
+	Reason string
+}
+
+// Error implements error.
+func (e *SessionError) Error() string {
+	return fmt.Sprintf("simclient: session %d: server: %s", e.SID, e.Reason)
+}
+
+// session is one episode's demux entry: data carries routed inner messages,
+// fail carries at most one terminal routing failure (demux overflow).
+type session struct {
+	data chan []byte
+	fail chan error
+}
+
 // Client is the session-multiplexed agent endpoint: a worker pool of
 // drivers shares one transport.Conn, each worker running episodes through
 // RunEpisode with its own session ID. A single receive loop demultiplexes
@@ -23,7 +46,7 @@ type Client struct {
 
 	mu       sync.Mutex
 	next     uint32
-	sessions map[uint32]chan []byte
+	sessions map[uint32]*session
 	err      error
 
 	done chan struct{}
@@ -35,7 +58,7 @@ type Client struct {
 func NewClient(conn transport.Conn) *Client {
 	c := &Client{
 		conn:     conn,
-		sessions: make(map[uint32]chan []byte),
+		sessions: make(map[uint32]*session),
 		done:     make(chan struct{}),
 	}
 	go c.recvLoop()
@@ -43,7 +66,10 @@ func NewClient(conn transport.Conn) *Client {
 }
 
 // recvLoop routes enveloped messages to their session until the connection
-// dies, then wakes every waiting session.
+// dies, then wakes every waiting session. Routing never blocks: a session
+// whose inbound buffer is full is failed and dropped, because one wedged
+// session stalling the demux loop would stall every other session on the
+// connection (head-of-line blocking).
 func (c *Client) recvLoop() {
 	var loopErr error
 	for {
@@ -58,13 +84,24 @@ func (c *Client) recvLoop() {
 			break
 		}
 		c.mu.Lock()
-		ch, ok := c.sessions[sid]
+		s, ok := c.sessions[sid]
 		c.mu.Unlock()
 		if !ok {
 			// Session abandoned (its RunEpisode already returned an error).
 			continue
 		}
-		ch <- inner
+		select {
+		case s.data <- inner:
+		default:
+			// The episode protocol is strictly request/response, so an
+			// overflowing buffer means this session is broken or its driver
+			// wedged. Fail it and keep the demux loop moving.
+			select {
+			case s.fail <- fmt.Errorf("inbound buffer overflow (session not consuming)"):
+			default:
+			}
+			c.unregister(sid)
+		}
 	}
 	c.mu.Lock()
 	c.err = loopErr
@@ -82,17 +119,31 @@ func (c *Client) Err() error {
 	return c.err
 }
 
-// register allocates a session ID and its inbound channel.
-func (c *Client) register() (uint32, chan []byte) {
+// InFlight reports the number of currently open sessions — the client's
+// instantaneous protocol load. (Diagnostic: the campaign pool tracks its
+// own per-engine dispatch counts, which also cover episodes still being
+// set up client-side.)
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// register allocates a session ID and its demux entry.
+func (c *Client) register() (uint32, *session) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.next++
 	sid := c.next
-	// Deep enough for the final done-frame plus the trailing EpisodeEnd,
-	// which the server sends back-to-back without an intervening control.
-	ch := make(chan []byte, 2)
-	c.sessions[sid] = ch
-	return sid, ch
+	s := &session{
+		// Deep enough for the final done-frame plus the trailing
+		// EpisodeEnd, which the server sends back-to-back without an
+		// intervening control.
+		data: make(chan []byte, 2),
+		fail: make(chan error, 1),
+	}
+	c.sessions[sid] = s
+	return sid, s
 }
 
 // unregister drops a session's routing entry.
@@ -107,7 +158,7 @@ func (c *Client) unregister(sid uint32) {
 // lookup) with the server's final episode summary. Safe for concurrent use
 // from many workers.
 func (c *Client) RunEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.EpisodeEnd, error) {
-	sid, ch := c.register()
+	sid, s := c.register()
 	defer c.unregister(sid)
 
 	if err := c.conn.Send(proto.EncodeEnvelope(sid, proto.EncodeOpenEpisode(open))); err != nil {
@@ -117,11 +168,13 @@ func (c *Client) RunEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 	for {
 		var inner []byte
 		select {
-		case inner = <-ch:
+		case inner = <-s.data:
+		case err := <-s.fail:
+			return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 		case <-c.done:
 			// Drain a message that raced the shutdown.
 			select {
-			case inner = <-ch:
+			case inner = <-s.data:
 			default:
 				if err := c.Err(); err != nil {
 					return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
@@ -136,7 +189,7 @@ func (c *Client) RunEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 			if err != nil {
 				return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 			}
-			return sid, nil, fmt.Errorf("simclient: session %d: server: %s", sid, se.Reason)
+			return sid, nil, &SessionError{SID: sid, Reason: se.Reason}
 		}
 		reply, end, err := episodeStep(inner, d)
 		if err != nil {

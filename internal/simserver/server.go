@@ -35,6 +35,10 @@ type Server struct {
 	active    int
 	maxActive int
 	total     int
+	completed int
+	failed    int
+	serveErr  error
+	served    bool
 
 	wg sync.WaitGroup
 }
@@ -63,6 +67,10 @@ func (s *Server) Serve(conn transport.Conn) error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.mu.Lock()
+	s.serveErr = err
+	s.served = true
+	s.mu.Unlock()
 	return err
 }
 
@@ -106,7 +114,34 @@ func (s *Server) demux(conn transport.Conn) error {
 				// Session already ended (e.g. control raced EpisodeEnd).
 				continue
 			}
-			ch <- ctl
+			select {
+			case ch <- ctl:
+			default:
+				// The episode protocol is strictly request/response, so a
+				// control beyond the buffered depth means the peer is
+				// broken for this session. Drop the session (its goroutine
+				// sees the closed channel and exits) rather than letting
+				// one session's backpressure stall the demux loop — the
+				// mirror of the client-side head-of-line guard.
+				s.mu.Lock()
+				if cur, live := s.sessions[sid]; live && cur == ch {
+					close(cur)
+					delete(s.sessions, sid)
+					s.failed++
+					// Tell the peer, so its episode loop fails instead of
+					// waiting forever for a frame that will never come —
+					// from a goroutine, so that even a backpressured
+					// connection cannot stall the demux loop. Serve's
+					// final wg.Wait covers this sender.
+					s.wg.Add(1)
+					go func() {
+						defer s.wg.Done()
+						msg := proto.EncodeSessionError(&proto.SessionError{Reason: "control overflow (session not consuming)"})
+						_ = conn.Send(proto.EncodeEnvelope(sid, msg))
+					}()
+				}
+				s.mu.Unlock()
+			}
 
 		default:
 			return fmt.Errorf("simserver: session %d: unexpected kind %d", sid, kind)
@@ -150,6 +185,9 @@ func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpi
 
 	e, err := s.factory(open)
 	if err != nil {
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
 		msg := proto.EncodeSessionError(&proto.SessionError{Reason: err.Error()})
 		_ = conn.Send(proto.EncodeEnvelope(sid, msg))
 		return
@@ -175,6 +213,7 @@ func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpi
 	// immediately after its EpisodeEnd always finds it.
 	s.mu.Lock()
 	s.results[sid] = res
+	s.completed++
 	s.mu.Unlock()
 	_ = conn.Send(proto.EncodeEnvelope(sid, proto.EncodeEpisodeEnd(resultEnd(res))))
 }
@@ -214,6 +253,40 @@ func (s *Server) TotalSessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// CompletedSessions reports how many sessions ran their episode to the end
+// and recorded a result — sessions aborted by factory failures, overflow
+// drops, or a dying connection are excluded, so campaign stats can count
+// finished episodes, not attempts.
+func (s *Server) CompletedSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
+
+// FailedSessions reports how many sessions aborted server-side (episode
+// factory failures, demux control overflow) — per-engine health for pool
+// supervision.
+func (s *Server) FailedSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Err reports why Serve exited: nil while it is still running or after a
+// clean peer-initiated shutdown, non-nil when the engine's backend died.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
+}
+
+// Done reports whether Serve has returned.
+func (s *Server) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
 }
 
 // isClosed reports whether err means the peer hung up — the engine's normal

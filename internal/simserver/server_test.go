@@ -275,3 +275,130 @@ func TestServerDrainsOnMidEpisodeHangup(t *testing.T) {
 		t.Errorf("Serve returned %v after hangup", err)
 	}
 }
+
+// TestServeHealthAccessors pins the health-plumbing contract the campaign
+// engine pool relies on: Err is nil and Done false while Serve runs, Done
+// flips once Serve returns, and a clean peer-initiated shutdown leaves Err
+// nil. FailedSessions counts factory aborts.
+func TestServeHealthAccessors(t *testing.T) {
+	w := testWorld(t)
+	srv := NewServer(func(open *proto.OpenEpisode) (*sim.Episode, error) {
+		if open.Seed == 666 {
+			return nil, errors.New("factory boom")
+		}
+		return worldFactory(w)(open)
+	})
+	serverConn, clientConn := transport.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serverConn) }()
+
+	if srv.Done() {
+		t.Error("Done true before Serve returned")
+	}
+	if err := srv.Err(); err != nil {
+		t.Errorf("Err = %v while serving", err)
+	}
+	if got := srv.FailedSessions(); got != 0 {
+		t.Errorf("FailedSessions = %d before any session", got)
+	}
+
+	// One failing session increments FailedSessions without ending Serve.
+	if err := clientConn.Send(proto.EncodeEnvelope(1, proto.EncodeOpenEpisode(&proto.OpenEpisode{Seed: 666}))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clientConn.Recv(); err != nil { // the SessionError reply
+		t.Fatal(err)
+	}
+	if got := srv.FailedSessions(); got != 1 {
+		t.Errorf("FailedSessions = %d after factory abort, want 1", got)
+	}
+	if srv.Done() {
+		t.Error("Done true after a mere session failure")
+	}
+
+	clientConn.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v after clean close", err)
+	}
+	if !srv.Done() {
+		t.Error("Done false after Serve returned")
+	}
+	if err := srv.Err(); err != nil {
+		t.Errorf("Err = %v after clean shutdown, want nil", err)
+	}
+}
+
+// TestDemuxControlOverflowDropsSession is the server-side mirror of the
+// client's head-of-line regression test: a session whose control buffer is
+// full (its goroutine stopped consuming) is dropped, and the demux loop
+// keeps serving every other session on the connection.
+func TestDemuxControlOverflowDropsSession(t *testing.T) {
+	w := testWorld(t)
+	srv := NewServer(worldFactory(w))
+	serverConn, clientConn := transport.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serverConn) }()
+
+	// Handcraft a wedged session: registered, buffer already full, nobody
+	// consuming.
+	wedged := make(chan *proto.Control, 1)
+	wedged <- &proto.Control{}
+	srv.mu.Lock()
+	srv.sessions[99] = wedged
+	srv.mu.Unlock()
+
+	// Overflow it; the demux loop must drop the session, not park on it.
+	if err := clientConn.Send(proto.EncodeEnvelope(99, proto.EncodeControl(&proto.Control{Throttle: 1}))); err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer is told its session died — no silent drop that would leave
+	// a client episode loop waiting forever.
+	reply, err := clientConn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, inner, err := proto.DecodeEnvelope(reply)
+	if err != nil || sid != 99 {
+		t.Fatalf("reply envelope sid=%d err=%v, want sid=99", sid, err)
+	}
+	if kind, err := proto.Kind(inner); err != nil || kind != proto.KindSessionError {
+		t.Fatalf("reply kind=%v err=%v, want SessionError", kind, err)
+	}
+
+	// The connection still serves real episodes end-to-end.
+	client := simclient.NewClient(clientConn)
+	from, to := mission(t, w, 5)
+	driver := &simclient.AutopilotDriver{
+		Fn: func(*proto.SensorFrame) physics.Control { return physics.Control{} },
+	}
+	_, end, err := client.RunEpisode(&proto.OpenEpisode{
+		From: uint32(from), To: uint32(to), Seed: 5, TimeoutSec: 1.0,
+	}, driver)
+	if err != nil {
+		t.Fatalf("demux stalled by wedged session: %v", err)
+	}
+	if end == nil || end.Frames == 0 {
+		t.Errorf("episode made no progress: %+v", end)
+	}
+
+	// The wedged session was closed out and counted.
+	srv.mu.Lock()
+	_, still := srv.sessions[99]
+	srv.mu.Unlock()
+	if still {
+		t.Error("overflowed session still registered")
+	}
+	<-wedged // drain the buffered control
+	if _, open := <-wedged; open {
+		t.Error("wedged session channel not closed")
+	}
+	if got := srv.FailedSessions(); got != 1 {
+		t.Errorf("FailedSessions = %d, want 1", got)
+	}
+
+	client.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v", err)
+	}
+}

@@ -141,6 +141,11 @@ func Histogram(xs []float64, lo, hi float64, n int) []int {
 	}
 	w := (hi - lo) / float64(n)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			// int(NaN) is platform-dependent and can land anywhere before
+			// the clamps below; NaN belongs to no bucket.
+			continue
+		}
 		i := int((x - lo) / w)
 		if i < 0 {
 			i = 0

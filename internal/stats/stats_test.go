@@ -113,6 +113,22 @@ func TestHistogramDegenerate(t *testing.T) {
 	}
 }
 
+func TestHistogramNaNIgnored(t *testing.T) {
+	xs := []float64{0.1, math.NaN(), 0.9, math.NaN()}
+	h := Histogram(xs, 0, 1, 2)
+	if h[0] != 1 || h[1] != 1 {
+		t.Errorf("Histogram with NaNs = %v, want [1 1]", h)
+	}
+	// All-NaN input counts nothing and, above all, must not panic or
+	// scribble outside the bucket slice.
+	h = Histogram([]float64{math.NaN()}, 0, 1, 4)
+	for i, c := range h {
+		if c != 0 {
+			t.Errorf("bucket %d = %d from NaN-only input", i, c)
+		}
+	}
+}
+
 func TestHistogramTotalCount(t *testing.T) {
 	err := quick.Check(func(seed uint64) bool {
 		r := rng.New(seed)
