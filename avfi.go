@@ -29,7 +29,16 @@
 //     a ScenarioMatrix (weather x traffic density x AEB x windowed fault
 //     activation x injector), with the paper's resilience metrics: Mission
 //     Success Rate, Traffic Violations per KM, Accidents per KM, and Time
-//     to Traffic Violation.
+//     to Traffic Violation;
+//   - an adaptive campaign orchestrator (Runner.RunAdaptive): a round-based
+//     plan -> observe -> reallocate loop that steers the episode budget
+//     toward high-risk scenario cells with pluggable policies — Uniform
+//     (the exhaustive baseline), SuccessiveHalving (prunes low-risk cells)
+//     and UCB (bandit-style exploration) — all deterministic given the
+//     campaign seed;
+//   - campaign resume: LoadRecordsJSONL turns a partial JSONL episode log
+//     back into records, and CampaignConfig.Resume seeds a new run with
+//     them, skipping every (cell, mission, repetition) already recorded.
 //
 // # Quick start
 //
@@ -60,9 +69,20 @@
 //		Injectors: avfi.InputFaultSuite(),
 //	}
 //
+// # Adaptive campaigns
+//
+// Instead of sweeping every cell exhaustively, let a policy steer the
+// episode budget toward the cells that are producing violations:
+//
+//	rs, err := runner.RunAdaptive(ctx, avfi.AdaptiveConfig{
+//		Policy: avfi.UCBPolicy(0), // or SuccessiveHalvingPolicy()
+//		Budget: 5000,              // total episodes, any grid size
+//	})
+//	// rs.Adaptive reports the per-round and per-cell allocation.
+//
 // Campaigns remain a pure function of their configuration: all mission,
 // episode and injector randomness derives from Config.Seed, so results
-// reproduce bit-identically run to run.
+// reproduce bit-identically run to run — adaptive allocation included.
 //
 // The types below are aliases of the implementation packages, so values
 // returned here interoperate with the whole library surface.
@@ -71,6 +91,7 @@ package avfi
 import (
 	"io"
 
+	"github.com/avfi/avfi/internal/adaptive"
 	"github.com/avfi/avfi/internal/agent"
 	"github.com/avfi/avfi/internal/campaign"
 	"github.com/avfi/avfi/internal/fault"
@@ -120,6 +141,29 @@ type (
 	// RecordSink consumes episode records as they complete — the streaming
 	// results path for campaigns too large to retain in memory.
 	RecordSink = campaign.RecordSink
+	// CellProgress is one cell's running aggregate (VPK stats plus
+	// violation tallies), delivered to CampaignConfig.ProgressV2.
+	CellProgress = campaign.CellProgress
+)
+
+// Adaptive campaign orchestration (Runner.RunAdaptive): risk-driven
+// episode allocation over the scenario matrix.
+type (
+	// AdaptiveConfig parameterizes Runner.RunAdaptive: policy, total
+	// episode budget, round size.
+	AdaptiveConfig = campaign.AdaptiveConfig
+	// AdaptiveStats reports how an adaptive campaign spent its budget over
+	// rounds and cells (ResultSet.Adaptive).
+	AdaptiveStats = campaign.AdaptiveStats
+	// RoundStats summarizes one adaptive round.
+	RoundStats = campaign.RoundStats
+	// CellBudget is one cell's share of an adaptive campaign's work.
+	CellBudget = campaign.CellBudget
+	// AdaptivePolicy decides each round's episode allocation; implement it
+	// to plug a custom sampling strategy into RunAdaptive.
+	AdaptivePolicy = adaptive.Policy
+	// AdaptiveCellStats is the per-cell posterior a policy allocates from.
+	AdaptiveCellStats = adaptive.CellStats
 )
 
 // Metrics.
@@ -296,6 +340,35 @@ func WriteJSON(w io.Writer, rs *ResultSet) error { return campaign.WriteJSON(w, 
 // CampaignConfig.Sink (typically with DiscardRecords) for million-episode
 // sweeps. The caller keeps ownership of w.
 func NewJSONLSink(w io.Writer) RecordSink { return campaign.NewJSONLSink(w) }
+
+// LoadRecordsJSONL reads the episode records of a JSONL record sink — the
+// durable log of a partial campaign. A truncated final line (crash
+// mid-write) is tolerated and dropped. Feed the result to
+// CampaignConfig.Resume to continue the campaign without re-running
+// recorded episodes.
+func LoadRecordsJSONL(r io.Reader) ([]EpisodeRecord, error) {
+	return campaign.LoadRecordsJSONL(r)
+}
+
+// UniformPolicy spreads every adaptive round's budget evenly over all
+// cells with remaining capacity — the exhaustive-sweep baseline.
+func UniformPolicy() AdaptivePolicy { return adaptive.Uniform{} }
+
+// SuccessiveHalvingPolicy prunes the scenario space geometrically: round k
+// spends its budget on only the ceil(n/2^k) riskiest cells.
+func SuccessiveHalvingPolicy() AdaptivePolicy { return adaptive.SuccessiveHalving{} }
+
+// UCBPolicy allocates by upper confidence bound on each cell's violation
+// rate; c scales the exploration bonus (0 means the default).
+func UCBPolicy(c float64) AdaptivePolicy { return adaptive.UCB{C: c} }
+
+// ParseAdaptivePolicy resolves a policy name (uniform|halving|ucb).
+func ParseAdaptivePolicy(name string) (AdaptivePolicy, error) {
+	return adaptive.ParsePolicy(name)
+}
+
+// AdaptivePolicies lists the built-in adaptive policy names.
+func AdaptivePolicies() []string { return adaptive.Policies() }
 
 // NewReportBuilder starts an empty incremental aggregator for one scenario
 // column — for hand-rolled episode loops that want campaign-grade reports

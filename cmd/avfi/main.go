@@ -7,6 +7,8 @@
 //	avfi -agent model.avfi -tcp -seed 7
 //	avfi -matrix -weathers clear,rain -densities 0x0,8x4 -aeb both
 //	avfi -engines 4 -retries 2 -stream-records records.jsonl
+//	avfi -matrix -weathers clear,rain,fog -adaptive -policy ucb -budget 256
+//	avfi -resume records.jsonl -stream-records records.jsonl
 //
 // With -matrix, the flat (injector x mission x repetition) grid becomes a
 // scenario matrix: every combination of -weathers, -densities, -aeb,
@@ -21,13 +23,28 @@
 // only a small fixed-size statistics digest per episode instead of full
 // records.
 //
+// -adaptive replaces the exhaustive sweep with the risk-driven
+// orchestrator: rounds of -round episodes are allocated over scenario
+// cells by -policy (uniform|halving|ucb) from the violation statistics
+// observed so far, within a total budget of -budget episodes (0 = the
+// full grid). A per-round progress line reports where the budget went.
+//
+// -resume loads a JSONL episode log from an earlier partial run (its
+// truncated final line, if any, is dropped): recorded episodes are not
+// re-run, their statistics seed the reports — and, with -adaptive, the
+// allocation posteriors. Resuming into the same -stream-records file
+// appends the fresh episodes to the log instead of truncating it.
+//
 // Without -agent, the driving agent is trained in-process from the oracle
 // autopilot first (about a minute); save one with avfi-train to skip that.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -65,6 +82,11 @@ func run() error {
 		engines    = flag.Int("engines", 1, "persistent engines in the pool (each its own server+connection)")
 		retries    = flag.Int("retries", 0, "per-episode retries after transient engine failures")
 		streamPath = flag.String("stream-records", "", "stream per-episode records to this JSONL file as they complete; without -records-csv/-json, records are not retained in memory")
+		adaptiveOn = flag.Bool("adaptive", false, "risk-driven episode allocation instead of the exhaustive sweep")
+		policyName = flag.String("policy", "ucb", "adaptive allocation policy: uniform|halving|ucb")
+		budget     = flag.Int("budget", 0, "adaptive total episode budget (0 = the full scenario grid)")
+		roundSize  = flag.Int("round", 0, "adaptive episodes per plan/observe/reallocate round (0 = auto)")
+		resumePath = flag.String("resume", "", "resume from this JSONL episode log: recorded episodes are not re-run")
 	)
 	flag.Parse()
 
@@ -94,6 +116,15 @@ func run() error {
 		return err
 	}
 
+	// Resolve the policy before the expensive world/agent setup so a flag
+	// typo fails in milliseconds, not after minutes of training.
+	var policy avfi.AdaptivePolicy
+	if *adaptiveOn {
+		if policy, err = avfi.ParseAdaptivePolicy(*policyName); err != nil {
+			return err
+		}
+	}
+
 	agentSrc, err := agentSource(*agentPath)
 	if err != nil {
 		return err
@@ -113,9 +144,40 @@ func run() error {
 		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries},
 		Seed:           *seed,
 	}
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			return err
+		}
+		resumed, err := avfi.LoadRecordsJSONL(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Resume = resumed
+		fmt.Fprintf(os.Stderr, "resuming: %d episodes already on record in %s\n", len(resumed), *resumePath)
+	}
 	var streamFile *os.File
 	if *streamPath != "" {
-		f, err := os.Create(*streamPath)
+		var f *os.File
+		var err error
+		if *resumePath != "" && sameFile(*streamPath, *resumePath) {
+			// Continuing the same durable log: clamp away any
+			// crash-truncated partial tail (LoadRecordsJSONL dropped it
+			// too), then append the fresh episodes — the recorded ones
+			// were loaded above and are not re-sunk.
+			f, err = os.OpenFile(*streamPath, os.O_RDWR, 0o644)
+			if err == nil {
+				if err = clampToCompleteLines(f); err == nil {
+					_, err = f.Seek(0, io.SeekEnd)
+				}
+				if err != nil {
+					f.Close()
+				}
+			}
+		} else {
+			f, err = os.Create(*streamPath)
+		}
 		if err != nil {
 			return err
 		}
@@ -144,11 +206,29 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "running %d scenario columns x %d missions x %d reps...\n",
-		columns, *missions, *reps)
-	rs, err := runner.Run()
-	if err != nil {
-		return err
+	var rs *avfi.ResultSet
+	if *adaptiveOn {
+		fmt.Fprintf(os.Stderr, "adaptive campaign over %d scenario columns x %d missions x %d reps (policy %s, budget %d)...\n",
+			columns, *missions, *reps, policy.Name(), *budget)
+		rs, err = runner.RunAdaptive(context.Background(), avfi.AdaptiveConfig{
+			Policy:    policy,
+			Budget:    *budget,
+			RoundSize: *roundSize,
+			RoundProgress: func(s avfi.RoundStats) {
+				fmt.Fprintf(os.Stderr, "round %d: %d episodes over %d cells, %d violations; total %d episodes, %d violations\n",
+					s.Round, s.Episodes, s.ActiveCells, s.Violations, s.TotalEpisodes, s.TotalViolations)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "running %d scenario columns x %d missions x %d reps...\n",
+			columns, *missions, *reps)
+		rs, err = runner.Run()
+		if err != nil {
+			return err
+		}
 	}
 	// Pool.Engines lists dead and replaced engines too; count live ones.
 	poolSize := 0
@@ -162,6 +242,16 @@ func run() error {
 	if rs.Pool.Retries > 0 || rs.Pool.Replacements > 0 {
 		fmt.Fprintf(os.Stderr, "engine pool: %d episode retries, %d engine replacements\n",
 			rs.Pool.Retries, rs.Pool.Replacements)
+	}
+	if rs.Adaptive != nil {
+		top, topEpisodes := "", 0
+		for _, c := range rs.Adaptive.Cells {
+			if c.Episodes > topEpisodes {
+				top, topEpisodes = c.Cell, c.Episodes
+			}
+		}
+		fmt.Fprintf(os.Stderr, "adaptive: policy %s spent %d episodes over %d rounds; top cell %q got %d\n",
+			rs.Adaptive.Policy, rs.Adaptive.Budget, len(rs.Adaptive.Rounds), top, topEpisodes)
 	}
 
 	avfi.PrintTable(os.Stdout, fmt.Sprintf("AVFI campaign (seed %d)", *seed), rs.Reports)
@@ -260,6 +350,51 @@ func agentSource(path string) (avfi.AgentSource, error) {
 		return avfi.AgentSource{}, err
 	}
 	return avfi.AgentSource{Agent: a}, nil
+}
+
+// sameFile reports whether two paths name the same underlying file —
+// spelled identically or not (relative vs absolute, symlinks). A path
+// that doesn't stat (e.g. the stream file doesn't exist yet) is not the
+// same file as anything.
+func sameFile(a, b string) bool {
+	ai, err := os.Stat(a)
+	if err != nil {
+		return false
+	}
+	bi, err := os.Stat(b)
+	if err != nil {
+		return false
+	}
+	return os.SameFile(ai, bi)
+}
+
+// clampToCompleteLines truncates f to the end of its last complete
+// (newline-terminated) line, so appending after a crash mid-write cannot
+// concatenate a fresh record onto a partial one and corrupt the log
+// mid-file. The partial tail holds no complete record by definition —
+// dropping it loses nothing the resume loader kept.
+func clampToCompleteLines(f *os.File) error {
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	const chunk = 64 * 1024
+	buf := make([]byte, chunk)
+	for end := size; end > 0; {
+		n := int64(chunk)
+		if end < n {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			return f.Truncate(end - n + int64(i) + 1)
+		}
+		end -= n
+	}
+	return f.Truncate(0)
 }
 
 func writeFile(path string, write func(*os.File) error) error {

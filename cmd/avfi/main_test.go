@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestClampToCompleteLines(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", ""},
+		{"clean", "{\"a\":1}\n{\"b\":2}\n", "{\"a\":1}\n{\"b\":2}\n"},
+		{"truncated tail", "{\"a\":1}\n{\"b\":2}\n{\"c\":", "{\"a\":1}\n{\"b\":2}\n"},
+		{"no newline at all", "{\"a\":", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "log.jsonl")
+			if err := os.WriteFile(path, []byte(tc.in), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := clampToCompleteLines(f); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tc.want {
+				t.Errorf("clamped to %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSameFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(mustGetwd(t), path)
+	if err != nil {
+		t.Skip("temp dir not relativizable from cwd")
+	}
+	if !sameFile(path, rel) {
+		t.Error("absolute and relative spellings of one file not detected as the same")
+	}
+	if sameFile(path, filepath.Join(dir, "other.jsonl")) {
+		t.Error("nonexistent file reported same")
+	}
+}
+
+func mustGetwd(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}

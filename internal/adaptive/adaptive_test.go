@@ -1,0 +1,205 @@
+package adaptive
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/avfi/avfi/internal/rng"
+)
+
+// mkCells builds a synthetic posterior set: per cell, episodes run,
+// violation episodes, and remaining capacity.
+func mkCells(eps, violEps, remaining []int) []CellStats {
+	cells := make([]CellStats, len(eps))
+	for i := range cells {
+		cells[i] = CellStats{
+			Index:             i,
+			Episodes:          eps[i],
+			ViolationEpisodes: violEps[i],
+			Violations:        violEps[i] * 2,
+			Remaining:         remaining[i],
+			MeanVPK:           float64(violEps[i]),
+		}
+	}
+	return cells
+}
+
+func total(alloc []int) int {
+	t := 0
+	for _, n := range alloc {
+		t += n
+	}
+	return t
+}
+
+func TestUniformSpreadsEvenly(t *testing.T) {
+	cells := mkCells([]int{0, 0, 0, 0}, []int{0, 0, 0, 0}, []int{10, 10, 10, 10})
+	alloc := Uniform{}.Allocate(0, 8, cells, rng.New(1))
+	if !reflect.DeepEqual(alloc, []int{2, 2, 2, 2}) {
+		t.Errorf("alloc = %v, want even split", alloc)
+	}
+	// Uneven budget: extras go to the lowest indices, deterministically.
+	alloc = Uniform{}.Allocate(0, 6, cells, rng.New(1))
+	if !reflect.DeepEqual(alloc, []int{2, 2, 1, 1}) {
+		t.Errorf("alloc = %v, want {2,2,1,1}", alloc)
+	}
+}
+
+func TestUniformRespectsCapacity(t *testing.T) {
+	cells := mkCells([]int{0, 0, 0}, []int{0, 0, 0}, []int{1, 10, 0})
+	alloc := Uniform{}.Allocate(0, 9, cells, rng.New(1))
+	if alloc[0] != 1 || alloc[2] != 0 {
+		t.Errorf("alloc = %v ignored capacity", alloc)
+	}
+	if total(alloc) != 9 {
+		t.Errorf("alloc = %v sums to %d, want 9", alloc, total(alloc))
+	}
+	// Budget beyond total capacity: allocate what exists, stop.
+	alloc = Uniform{}.Allocate(0, 100, cells, rng.New(1))
+	if total(alloc) != 11 {
+		t.Errorf("alloc = %v sums to %d, want full capacity 11", alloc, total(alloc))
+	}
+}
+
+func TestSuccessiveHalvingSchedule(t *testing.T) {
+	// 8 cells, cell 5 is the one with violations. Round 0 must cover all
+	// cells; by round 3 only the riskiest survives.
+	eps := []int{4, 4, 4, 4, 4, 4, 4, 4}
+	viol := []int{0, 0, 0, 0, 0, 4, 0, 0}
+	rem := []int{20, 20, 20, 20, 20, 20, 20, 20}
+	p := SuccessiveHalving{}
+
+	r0 := p.Allocate(0, 8, mkCells(eps, viol, rem), rng.New(1))
+	for i, n := range r0 {
+		if n != 1 {
+			t.Errorf("round 0 cell %d got %d, want 1 (full coverage)", i, n)
+		}
+	}
+
+	r1 := p.Allocate(1, 8, mkCells(eps, viol, rem), rng.New(1))
+	if active := len(nonZero(r1)); active != 4 {
+		t.Errorf("round 1 active cells = %d, want 4", active)
+	}
+	if r1[5] == 0 {
+		t.Error("round 1 pruned the violating cell")
+	}
+
+	r3 := p.Allocate(3, 8, mkCells(eps, viol, rem), rng.New(1))
+	if !reflect.DeepEqual(nonZero(r3), []int{5}) {
+		t.Errorf("round 3 active cells = %v, want only the violating cell 5", nonZero(r3))
+	}
+	if r3[5] != 8 {
+		t.Errorf("round 3 gave the survivor %d episodes, want the full budget 8", r3[5])
+	}
+}
+
+func TestSuccessiveHalvingExploresUnseenBeforePruning(t *testing.T) {
+	// Cell 2 has never run; even in a late round it must outrank explored
+	// benign cells.
+	eps := []int{4, 4, 0, 4}
+	viol := []int{0, 1, 0, 0}
+	rem := []int{10, 10, 10, 10}
+	alloc := SuccessiveHalving{}.Allocate(1, 4, mkCells(eps, viol, rem), rng.New(1))
+	if alloc[2] == 0 {
+		t.Errorf("alloc = %v starved the unexplored cell", alloc)
+	}
+	if alloc[1] == 0 {
+		t.Errorf("alloc = %v starved the violating cell", alloc)
+	}
+}
+
+func TestSuccessiveHalvingSkipsExhaustedCells(t *testing.T) {
+	// The riskiest cell has no capacity left: its slot falls to the next
+	// survivor instead of being wasted.
+	eps := []int{4, 4, 4, 4}
+	viol := []int{4, 1, 0, 0}
+	rem := []int{0, 10, 10, 10}
+	alloc := SuccessiveHalving{}.Allocate(2, 6, mkCells(eps, viol, rem), rng.New(1))
+	if alloc[0] != 0 {
+		t.Errorf("alloc = %v gave episodes to an exhausted cell", alloc)
+	}
+	if alloc[1] != 6 {
+		t.Errorf("alloc = %v, want the full budget on cell 1", alloc)
+	}
+}
+
+func TestUCBExploresUnvisitedFirst(t *testing.T) {
+	// Three unvisited cells, one heavily-visited violating cell: the first
+	// three episodes must cover the unvisited cells.
+	eps := []int{0, 20, 0, 0}
+	viol := []int{0, 20, 0, 0}
+	rem := []int{10, 10, 10, 10}
+	alloc := UCB{}.Allocate(0, 3, mkCells(eps, viol, rem), rng.New(7))
+	for _, i := range []int{0, 2, 3} {
+		if alloc[i] != 1 {
+			t.Errorf("alloc = %v: unvisited cell %d not explored first", alloc, i)
+		}
+	}
+}
+
+func TestUCBConcentratesOnHighRiskCell(t *testing.T) {
+	// After an even exploration round, the always-violating cell 3 must
+	// absorb the plurality of a large budget.
+	eps := []int{2, 2, 2, 2, 2, 2}
+	viol := []int{0, 0, 0, 2, 0, 0}
+	rem := []int{50, 50, 50, 50, 50, 50}
+	alloc := UCB{}.Allocate(1, 48, mkCells(eps, viol, rem), rng.New(7))
+	for i, n := range alloc {
+		if i != 3 && n >= alloc[3] {
+			t.Fatalf("alloc = %v: benign cell %d got %d >= violating cell's %d", alloc, i, n, alloc[3])
+		}
+	}
+	if total(alloc) != 48 {
+		t.Errorf("alloc = %v sums to %d, want 48", alloc, total(alloc))
+	}
+}
+
+func TestPoliciesDeterministic(t *testing.T) {
+	eps := []int{3, 0, 5, 2, 0}
+	viol := []int{1, 0, 4, 0, 0}
+	rem := []int{7, 9, 2, 8, 11}
+	for _, p := range []Policy{Uniform{}, SuccessiveHalving{}, UCB{}} {
+		a := p.Allocate(2, 13, mkCells(eps, viol, rem), rng.New(42))
+		b := p.Allocate(2, 13, mkCells(eps, viol, rem), rng.New(42))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same inputs allocated %v then %v", p.Name(), a, b)
+		}
+		if total(a) > 13 {
+			t.Errorf("%s: allocated %d over budget 13", p.Name(), total(a))
+		}
+		for i, n := range a {
+			if n < 0 || n > rem[i] {
+				t.Errorf("%s: cell %d allocation %d outside [0, %d]", p.Name(), i, n, rem[i])
+			}
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range Policies() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ParsePolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := ParsePolicy("successive-halving"); err != nil || p.Name() != "halving" {
+		t.Errorf("ParsePolicy(successive-halving) = %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("nonsense"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// nonZero returns the indices with a non-zero allocation.
+func nonZero(alloc []int) []int {
+	var out []int
+	for i, n := range alloc {
+		if n > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

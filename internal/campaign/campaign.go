@@ -97,6 +97,20 @@ type Config struct {
 	// per-cell signal adaptive sampling hooks into. Called from the single
 	// aggregation goroutine; keep it fast.
 	Progress func(cell string, episodes int, meanVPK, stdVPK float64)
+	// ProgressV2, when non-nil, is called at the same points as Progress
+	// with the full per-cell running aggregate — violation tallies
+	// alongside the Welford VPK statistics. Both hooks may be set; episodes
+	// seeded via Resume fire neither.
+	ProgressV2 func(CellProgress)
+	// Resume seeds the campaign with episodes recorded by a prior partial
+	// run (typically loaded from a JSONL record sink with
+	// LoadRecordsJSONL). Their (cell, mission, repetition) slots are not
+	// re-dispatched; their records are folded into reports — and retained,
+	// unless DiscardRecords — but not re-sent to Sink, and adaptive
+	// posteriors start from them. Records for columns or slots outside
+	// this campaign's grid are ignored; duplicate slots keep the first
+	// record.
+	Resume []metrics.EpisodeRecord
 	// DiscardRecords drops records after streaming aggregation:
 	// ResultSet.Records stays nil, and instead of full EpisodeRecords
 	// (violation lists and label strings) the campaign retains only each
@@ -111,6 +125,35 @@ type Config struct {
 	// factory — the hook fault-tolerance tests use to inject transient
 	// backend failures.
 	testFactoryWrap func(simserver.EpisodeFactory) simserver.EpisodeFactory
+	// testRunEpisode, when set (tests only), replaces episode execution
+	// entirely — the hook adaptive-allocation tests use to give scenario
+	// cells exactly known risk profiles without running the simulator.
+	testRunEpisode func(*engine, job) (metrics.EpisodeRecord, error)
+}
+
+// CellProgress is one cell's running aggregate, delivered to
+// Config.ProgressV2 after each episode is folded in.
+type CellProgress struct {
+	// Cell is the scenario column label.
+	Cell string
+	// Episodes is how many of the cell's episodes have been aggregated.
+	Episodes int
+	// MeanVPK and StdVPK are the Welford running per-episode VPK stats.
+	MeanVPK float64
+	StdVPK  float64
+	// Violations is the cell's total violation count so far.
+	Violations int
+	// ViolationEpisodes is how many episodes had at least one violation.
+	ViolationEpisodes int
+}
+
+// ViolationRate is the fraction of aggregated episodes with at least one
+// violation — the risk signal adaptive policies allocate by.
+func (p CellProgress) ViolationRate() float64 {
+	if p.Episodes == 0 {
+		return 0
+	}
+	return float64(p.ViolationEpisodes) / float64(p.Episodes)
 }
 
 // AgentSource supplies the driving agent: either a ready instance or a
@@ -205,6 +248,9 @@ type ResultSet struct {
 	// Pool reports the sharded engine pool in detail: per-engine stats,
 	// episode retries, and backend replacements.
 	Pool PoolStats
+	// Adaptive reports the orchestrator's round-by-round allocation when
+	// the campaign ran via RunAdaptive (nil for exhaustive sweeps).
+	Adaptive *AdaptiveStats `json:",omitempty"`
 }
 
 // ReportFor returns the report for an injector name.
@@ -360,12 +406,19 @@ func (r *Runner) runEpisode(eng *engine, j job) (metrics.EpisodeRecord, error) {
 		NumNPCs:        uint16(cell.npcs),
 		NumPedestrians: uint16(cell.peds),
 	}
-	sid, _, err := eng.client.RunEpisode(open, driver)
+	// Full results ride the wire (WantResult), so this path is identical
+	// for in-process and remote engines; the server-side stash is only a
+	// fallback against a backend predating the EpisodeResult message.
+	sid, wres, _, err := eng.client.RunEpisodeResult(open, driver)
 	if err != nil {
 		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: %w", cell.key, j.mission, j.repetition, err)
 	}
-	res, ok := eng.server.Result(sid)
-	if !ok {
+	var res sim.Result
+	if wres != nil {
+		res = simclient.SimResult(wres)
+	} else if stashed, ok := eng.server.Result(sid); ok {
+		res = stashed
+	} else {
 		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: session %d: %w", cell.key, j.mission, j.repetition, sid, errNoResult)
 	}
 	injTime := float64(cell.src.InjectionFrame) * sim.Dt

@@ -1,0 +1,114 @@
+// Campaign resume: the JSONL record sink is a durable per-episode log, so
+// a partial campaign — killed mid-sweep, crashed mid-write — can be picked
+// up where it stopped instead of re-running finished episodes. The loader
+// reads the partial log; Config.Resume threads it into the runner, which
+// seeds its aggregates (and, for adaptive campaigns, its posteriors) from
+// the recorded episodes and dispatches only the (cell, mission,
+// repetition) slots not yet on record. Episodes are pure functions of
+// their seeds, so a resumed campaign finishes with results bit-identical
+// to an uninterrupted run.
+
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/avfi/avfi/internal/metrics"
+)
+
+// LoadRecordsJSONL reads episode records from a JSONL record sink (see
+// NewJSONLSink) — the durable episode log of a partial campaign. A
+// truncated or corrupt final line is tolerated and dropped (the signature
+// of a crash mid-write); corruption anywhere earlier is an error.
+func LoadRecordsJSONL(r io.Reader) ([]metrics.EpisodeRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	var recs []metrics.EpisodeRecord
+	var pending error // a bad line is fatal only if a later line follows
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if pending != nil {
+			return nil, pending
+		}
+		var rec metrics.EpisodeRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			pending = fmt.Errorf("campaign: resume: line %d: %w", line, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	return recs, nil
+}
+
+// pairKey identifies one episode slot of the campaign grid.
+type pairKey struct {
+	cell       int
+	mission    int
+	repetition int
+}
+
+// cellIndex maps each scenario column key to its first cell index.
+func (r *Runner) cellIndex() map[string]int {
+	idx := make(map[string]int, len(r.cells))
+	for i, c := range r.cells {
+		if _, ok := idx[c.key]; !ok {
+			idx[c.key] = i
+		}
+	}
+	return idx
+}
+
+// resumeState reconciles Config.Resume against this campaign's grid: it
+// returns the usable records plus the set of slots they occupy. Records
+// for unknown columns or out-of-range slots are dropped (they belong to a
+// different configuration), and duplicate slots keep the first record.
+func (r *Runner) resumeState() ([]metrics.EpisodeRecord, map[pairKey]bool) {
+	if len(r.cfg.Resume) == 0 {
+		return nil, nil
+	}
+	cellIdx := r.cellIndex()
+	used := make(map[pairKey]bool, len(r.cfg.Resume))
+	var recs []metrics.EpisodeRecord
+	for _, rec := range r.cfg.Resume {
+		ci, ok := cellIdx[rec.Injector]
+		if !ok || rec.Mission < 0 || rec.Mission >= len(r.missions) ||
+			rec.Repetition < 0 || rec.Repetition >= r.cfg.Repetitions {
+			continue
+		}
+		k := pairKey{cell: ci, mission: rec.Mission, repetition: rec.Repetition}
+		if used[k] {
+			continue
+		}
+		used[k] = true
+		recs = append(recs, rec)
+	}
+	return recs, used
+}
+
+// pendingJobs is the campaign's static job list minus the slots already on
+// record.
+func (r *Runner) pendingJobs(skip map[pairKey]bool) []job {
+	jobs := r.jobs()
+	if len(skip) == 0 {
+		return jobs
+	}
+	pending := jobs[:0]
+	for _, j := range jobs {
+		if !skip[pairKey{cell: j.cellIdx, mission: j.mission, repetition: j.repetition}] {
+			pending = append(pending, j)
+		}
+	}
+	return pending
+}

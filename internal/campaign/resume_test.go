@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/avfi/avfi/internal/adaptive"
+	"github.com/avfi/avfi/internal/fault"
+	"github.com/avfi/avfi/internal/metrics"
+)
+
+func TestLoadRecordsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	want := []metrics.EpisodeRecord{
+		{Injector: "noinject", Mission: 0, Repetition: 1, Seed: 7, Success: true, DistanceKM: 0.4},
+		{Injector: "gaussian", Mission: 2, Repetition: 0, Seed: 8, DistanceKM: 0.1,
+			Violations: []metrics.ViolationRecord{{Kind: "lane", TimeSec: 3}}},
+	}
+	for _, r := range want {
+		if err := sink.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecordsJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mangled:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestLoadRecordsJSONLTruncatedTail: a crash mid-write leaves a partial
+// final line; the loader must keep every complete record and drop the
+// tail without erroring.
+func TestLoadRecordsJSONLTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for m := 0; m < 3; m++ {
+		if err := sink.Consume(metrics.EpisodeRecord{Injector: "noinject", Mission: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Len() - 10 // chop into the last record's JSON
+	got, err := LoadRecordsJSONL(bytes.NewReader(buf.Bytes()[:cut]))
+	if err != nil {
+		t.Fatalf("truncated tail not tolerated: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("loaded %d records from a log truncated mid-third, want 2", len(got))
+	}
+}
+
+func TestLoadRecordsJSONLMidFileCorruption(t *testing.T) {
+	log := `{"Injector":"noinject","Mission":0}
+{"Injector":"noinject","Mission":1,
+{"Injector":"noinject","Mission":2}
+`
+	if _, err := LoadRecordsJSONL(strings.NewReader(log)); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}
+
+// resumeBase is the campaign both resume tests continue.
+func resumeBase(t *testing.T) Config {
+	cfg := tinyConfig(t, []InjectorSource{
+		Registry(fault.NoopName),
+		Registry("gaussian"),
+	})
+	cfg.Parallelism = 2
+	return cfg
+}
+
+// TestResumeSkipsRecordedEpisodes is the resume contract: a campaign
+// seeded with a partial record log runs only the missing episodes, and
+// finishes with records and reports bit-identical to the uninterrupted
+// run.
+func TestResumeSkipsRecordedEpisodes(t *testing.T) {
+	full, err := NewRunner(resumeBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from roughly half the log.
+	half := append([]metrics.EpisodeRecord(nil), want.Records[:len(want.Records)/2]...)
+	cfg := resumeBase(t)
+	cfg.Resume = half
+	sink := &collectSink{}
+	cfg.Sink = sink
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		t.Error("resumed records diverged from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(got.Reports, want.Reports) {
+		t.Error("resumed reports diverged from the uninterrupted run")
+	}
+	// Only the fresh episodes ran and only they hit the sink: the resumed
+	// half is already on record.
+	fresh := len(want.Records) - len(half)
+	if got.Engine.Episodes != fresh {
+		t.Errorf("resumed campaign ran %d episodes, want %d", got.Engine.Episodes, fresh)
+	}
+	if len(sink.records) != fresh {
+		t.Errorf("sink saw %d records, want only the %d fresh ones", len(sink.records), fresh)
+	}
+}
+
+// TestResumeCompleteLogRunsNothing: resuming from a complete log is a
+// no-op sweep that still reproduces the full ResultSet.
+func TestResumeCompleteLogRunsNothing(t *testing.T) {
+	full, err := NewRunner(resumeBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeBase(t)
+	cfg.Resume = want.Records
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine.Episodes != 0 {
+		t.Errorf("complete-log resume ran %d episodes, want 0", got.Engine.Episodes)
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) || !reflect.DeepEqual(got.Reports, want.Reports) {
+		t.Error("complete-log resume diverged from the original run")
+	}
+}
+
+// TestResumeIgnoresForeignRecords: records from a different configuration
+// (unknown column, out-of-range slots) must not poison the campaign.
+func TestResumeIgnoresForeignRecords(t *testing.T) {
+	want, err := NewRunner(resumeBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRS, err := want.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeBase(t)
+	cfg.Resume = []metrics.EpisodeRecord{
+		{Injector: "from-another-campaign", Mission: 0, Repetition: 0},
+		{Injector: fault.NoopName, Mission: 99, Repetition: 0},
+		{Injector: fault.NoopName, Mission: 0, Repetition: -1},
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, wantRS.Records) {
+		t.Error("foreign resume records leaked into the campaign")
+	}
+}
+
+// TestAdaptiveResumeSeedsPosteriors: an adaptive campaign resumed from a
+// partial log (a) never re-runs recorded slots, (b) still ends with the
+// full-grid ResultSet under Uniform + full budget, and (c) counts only
+// fresh episodes against the budget.
+func TestAdaptiveResumeSeedsPosteriors(t *testing.T) {
+	full, err := NewRunner(resumeBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := append([]metrics.EpisodeRecord(nil), want.Records[:len(want.Records)/2]...)
+	cfg := resumeBase(t)
+	cfg.Resume = half
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.RunAdaptive(context.Background(), AdaptiveConfig{
+		Policy:    adaptive.Uniform{},
+		RoundSize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		t.Error("adaptive resume diverged from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(got.Reports, want.Reports) {
+		t.Error("adaptive resume reports diverged")
+	}
+	fresh := len(want.Records) - len(half)
+	if got.Adaptive.Budget != fresh {
+		t.Errorf("resolved budget = %d, want the %d un-recorded episodes", got.Adaptive.Budget, fresh)
+	}
+	if got.Engine.Episodes != fresh {
+		t.Errorf("ran %d episodes, want %d", got.Engine.Episodes, fresh)
+	}
+}

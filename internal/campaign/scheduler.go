@@ -90,54 +90,67 @@ func (s *scheduler) runJob(ctx context.Context, j job) (metrics.EpisodeRecord, e
 	}
 }
 
-// Run executes the full sweep and aggregates reports; it is RunContext
-// without external cancellation.
-func (r *Runner) Run() (*ResultSet, error) { return r.RunContext(context.Background()) }
+// runSession is the re-entrant dispatch substrate: a started engine pool
+// plus its scheduler and worker sizing, able to run successive job batches
+// on the same engines before one teardown. RunContext uses it for a single
+// batch (the full sweep); RunAdaptive reuses it round after round, so an
+// adaptive campaign dials its backends exactly once, not once per round.
+type runSession struct {
+	pool        *enginePool
+	sched       *scheduler
+	parallelism int
+}
 
-// RunContext executes the full sweep on a sharded pool of persistent
-// engines (PoolConfig.Engines servers/clients/connections; one for the
-// classic single-engine shape) and streams every finished episode through
-// the results pipeline: incremental per-cell aggregation, the optional
-// RecordSink, and — unless Config.DiscardRecords — retention for
-// ResultSet.Records.
-//
-// The first fatal episode error cancels dispatch: in-flight episodes
-// finish, the remaining job list is abandoned, and the error is returned.
-// Cancelling ctx does the same with ctx's cause. Transient failures
-// (session aborts, dead backends) are retried within PoolConfig.MaxRetries
-// and dead engines are replaced, so one lost backend costs a re-dispatch,
-// not the campaign.
-func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
-	jobs := r.jobs()
-
+// newRunSession sizes the worker pool and starts the engines. maxBatch
+// bounds useful parallelism: no single runJobs call will carry more jobs
+// than it, so workers (and engines) beyond it would idle.
+func (r *Runner) newRunSession(maxBatch int) (*runSession, error) {
 	parallelism := r.cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
-	if parallelism > len(jobs) {
-		parallelism = len(jobs)
+	if parallelism > maxBatch {
+		parallelism = maxBatch
+	}
+	if parallelism < 1 {
+		parallelism = 1
 	}
 	engines := r.cfg.Pool.Engines
 	if engines > parallelism {
 		// Engines beyond the worker count would never be dispatched to.
 		engines = parallelism
 	}
-
 	pool, err := newEnginePool(r.startEngine, engines)
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancelCause(ctx)
-	defer cancel(nil)
-	// A broken sink cancels dispatch: finishing thousands of episodes whose
-	// streamed records are being dropped would be pure waste.
-	pipe := newSinkPipeline(r.cells, r.cfg.Sink, !r.cfg.DiscardRecords, parallelism,
-		func(err error) { cancel(err) }, r.cfg.Progress)
-	sched := &scheduler{pool: pool, run: r.runEpisode, maxRetries: r.cfg.Pool.MaxRetries}
+	run := r.runEpisode
+	if r.cfg.testRunEpisode != nil {
+		run = r.cfg.testRunEpisode
+	}
+	return &runSession{
+		pool:        pool,
+		sched:       &scheduler{pool: pool, run: run, maxRetries: r.cfg.Pool.MaxRetries},
+		parallelism: parallelism,
+	}, nil
+}
 
+// runJobs dispatches one batch of episodes onto the session's pool,
+// delivering each finished record to consume (from worker goroutines,
+// concurrently). The first fatal episode error cancels ctx via cancel:
+// in-flight episodes finish, the rest of the batch is abandoned, and the
+// cause is readable from the context. runJobs itself always returns after
+// the batch drains — callers decide whether a cancelled context aborts the
+// campaign or just this batch.
+func (s *runSession) runJobs(ctx context.Context, cancel context.CancelCauseFunc, jobs []job,
+	consume func(context.Context, metrics.EpisodeRecord)) {
+	workers := s.parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
 	jobCh := make(chan job)
 	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -152,12 +165,12 @@ func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
 						return
 					}
 				}
-				rec, err := sched.runJob(ctx, j)
+				rec, err := s.sched.runJob(ctx, j)
 				if err != nil {
 					cancel(err)
 					return
 				}
-				pipe.consume(ctx, rec)
+				consume(ctx, rec)
 			}
 		}()
 	}
@@ -171,9 +184,47 @@ feed:
 	}
 	close(jobCh)
 	wg.Wait()
+}
 
-	poolStats, engineAgg := pool.snapshot()
-	closeErr := pool.close()
+// close tears the session's engine pool down.
+func (s *runSession) close() error { return s.pool.close() }
+
+// Run executes the full sweep and aggregates reports; it is RunContext
+// without external cancellation.
+func (r *Runner) Run() (*ResultSet, error) { return r.RunContext(context.Background()) }
+
+// RunContext executes the full sweep on a sharded pool of persistent
+// engines (PoolConfig.Engines servers/clients/connections; one for the
+// classic single-engine shape) and streams every finished episode through
+// the results pipeline: incremental per-cell aggregation, the optional
+// RecordSink, and — unless Config.DiscardRecords — retention for
+// ResultSet.Records. Episodes already present in Config.Resume are folded
+// into the results without being re-run.
+//
+// The first fatal episode error cancels dispatch: in-flight episodes
+// finish, the remaining job list is abandoned, and the error is returned.
+// Cancelling ctx does the same with ctx's cause. Transient failures
+// (session aborts, dead backends) are retried within PoolConfig.MaxRetries
+// and dead engines are replaced, so one lost backend costs a re-dispatch,
+// not the campaign.
+func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
+	resumed, skip := r.resumeState()
+	jobs := r.pendingJobs(skip)
+
+	sess, err := r.newRunSession(len(jobs))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	// A broken sink cancels dispatch: finishing thousands of episodes whose
+	// streamed records are being dropped would be pure waste.
+	pipe := newSinkPipeline(r.cells, r.cfg.Sink, !r.cfg.DiscardRecords, sess.parallelism,
+		func(err error) { cancel(err) }, r.cfg.Progress, r.cfg.ProgressV2, resumed)
+	sess.runJobs(ctx, cancel, jobs, pipe.consume)
+
+	poolStats, engineAgg := sess.pool.snapshot()
+	closeErr := sess.close()
 	if cause := context.Cause(ctx); cause != nil {
 		// The campaign is aborting: don't wait for the pipeline to drain —
 		// a cancellation caused by a wedged sink would never finish.

@@ -60,37 +60,53 @@ type sinkPipeline struct {
 	ch   chan metrics.EpisodeRecord
 	done chan struct{}
 
-	cells    []runCell
-	builders map[string]*metrics.ReportBuilder
-	keep     bool
-	records  []metrics.EpisodeRecord
-	sink     RecordSink
-	broken   bool // sink failed; stop writing, keep draining
-	err      error
-	onErr    func(error) // called once, on the first sink failure
-	progress func(cell string, episodes int, meanVPK, stdVPK float64)
+	cells      []runCell
+	builders   map[string]*metrics.ReportBuilder
+	keep       bool
+	records    []metrics.EpisodeRecord
+	sink       RecordSink
+	broken     bool // sink failed; stop writing, keep draining
+	err        error
+	onErr      func(error) // called once, on the first sink failure
+	progress   func(cell string, episodes int, meanVPK, stdVPK float64)
+	progressV2 func(CellProgress)
 }
 
 // newSinkPipeline starts the aggregation goroutine. keep retains records
 // for ResultSet.Records; buffer sizes the hand-off channel; onErr (may be
 // nil) is notified of the first sink failure so the caller can stop
-// dispatching episodes whose streamed records would be lost; progress (may
-// be nil) sees each cell's running aggregate as episodes land.
+// dispatching episodes whose streamed records would be lost; progress and
+// progressV2 (either may be nil) see each cell's running aggregate as
+// episodes land. seed pre-folds records resumed from a prior partial run:
+// they count in reports and retention but are not re-sent to the sink and
+// fire no progress hooks (they are not this run's work).
 func newSinkPipeline(cells []runCell, sink RecordSink, keep bool, buffer int,
-	onErr func(error), progress func(string, int, float64, float64)) *sinkPipeline {
+	onErr func(error), progress func(string, int, float64, float64),
+	progressV2 func(CellProgress), seed []metrics.EpisodeRecord) *sinkPipeline {
 	p := &sinkPipeline{
-		ch:       make(chan metrics.EpisodeRecord, buffer),
-		done:     make(chan struct{}),
-		cells:    cells,
-		builders: make(map[string]*metrics.ReportBuilder, len(cells)),
-		keep:     keep,
-		sink:     sink,
-		onErr:    onErr,
-		progress: progress,
+		ch:         make(chan metrics.EpisodeRecord, buffer),
+		done:       make(chan struct{}),
+		cells:      cells,
+		builders:   make(map[string]*metrics.ReportBuilder, len(cells)),
+		keep:       keep,
+		sink:       sink,
+		onErr:      onErr,
+		progress:   progress,
+		progressV2: progressV2,
 	}
 	for _, c := range cells {
 		if _, ok := p.builders[c.key]; !ok {
 			p.builders[c.key] = metrics.NewReportBuilder(c.key)
+		}
+	}
+	// Seeding happens before the aggregation goroutine starts: builders and
+	// records are still exclusively ours.
+	for _, rec := range seed {
+		if b, ok := p.builders[rec.Injector]; ok {
+			b.Add(rec)
+		}
+		if keep {
+			p.records = append(p.records, rec)
 		}
 	}
 	go p.loop()
@@ -112,6 +128,18 @@ func (p *sinkPipeline) loop() {
 			if p.progress != nil {
 				mean, std, n := b.RunningVPK()
 				p.progress(rec.Injector, n, mean, std)
+			}
+			if p.progressV2 != nil {
+				mean, std, n := b.RunningVPK()
+				violations, violEpisodes := b.RunningViolations()
+				p.progressV2(CellProgress{
+					Cell:              rec.Injector,
+					Episodes:          n,
+					MeanVPK:           mean,
+					StdVPK:            std,
+					Violations:        violations,
+					ViolationEpisodes: violEpisodes,
+				})
 			}
 		}
 		if p.keep {
@@ -166,8 +194,19 @@ func (p *sinkPipeline) finish() ([]metrics.EpisodeRecord, []metrics.Report, erro
 	close(p.ch)
 	<-p.done
 	// Deterministic order regardless of scheduling.
-	sort.Slice(p.records, func(a, b int) bool {
-		ra, rb := p.records[a], p.records[b]
+	sortRecords(p.records)
+	var reports []metrics.Report
+	for _, c := range p.cells {
+		reports = append(reports, p.builders[c.key].Build())
+	}
+	return p.records, reports, p.err
+}
+
+// sortRecords puts records into the campaign's deterministic,
+// schedule-independent order: (column key, mission, repetition).
+func sortRecords(records []metrics.EpisodeRecord) {
+	sort.Slice(records, func(a, b int) bool {
+		ra, rb := records[a], records[b]
 		if ra.Injector != rb.Injector {
 			return ra.Injector < rb.Injector
 		}
@@ -176,9 +215,4 @@ func (p *sinkPipeline) finish() ([]metrics.EpisodeRecord, []metrics.Report, erro
 		}
 		return ra.Repetition < rb.Repetition
 	})
-	var reports []metrics.Report
-	for _, c := range p.cells {
-		reports = append(reports, p.builders[c.key].Build())
-	}
-	return p.records, reports, p.err
 }

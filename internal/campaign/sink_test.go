@@ -132,6 +132,54 @@ func TestProgressHookSeesEveryEpisode(t *testing.T) {
 	}
 }
 
+// TestProgressV2ReportsViolations pins the extended progress hook: every
+// aggregated episode fires with the cell's running violation tallies, and
+// the final update matches the report exactly.
+func TestProgressV2ReportsViolations(t *testing.T) {
+	cfg := tinyConfig(t, []InjectorSource{Registry("gaussian")})
+	cfg.Parallelism = 2
+	var mu sync.Mutex
+	var updates []CellProgress
+	cfg.ProgressV2 = func(p CellProgress) {
+		mu.Lock()
+		updates = append(updates, p)
+		mu.Unlock()
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != len(rs.Records) {
+		t.Fatalf("ProgressV2 fired %d times for %d episodes", len(updates), len(rs.Records))
+	}
+	last := updates[len(updates)-1]
+	if last.Cell != "gaussian" || last.Episodes != len(rs.Records) {
+		t.Errorf("final update = %+v", last)
+	}
+	if last.Violations != rs.Reports[0].TotalViolations {
+		t.Errorf("final running violations %d != report total %d", last.Violations, rs.Reports[0].TotalViolations)
+	}
+	violEps := 0
+	for _, rec := range rs.Records {
+		if len(rec.Violations) > 0 {
+			violEps++
+		}
+	}
+	if last.ViolationEpisodes != violEps {
+		t.Errorf("final violation episodes %d, want %d", last.ViolationEpisodes, violEps)
+	}
+	if math.Abs(last.MeanVPK-rs.Reports[0].MeanVPK) > 1e-9 {
+		t.Errorf("final running mean %v != report mean %v", last.MeanVPK, rs.Reports[0].MeanVPK)
+	}
+	if want := float64(violEps) / float64(len(rs.Records)); last.ViolationRate() != want {
+		t.Errorf("ViolationRate = %v, want %v", last.ViolationRate(), want)
+	}
+}
+
 func TestSinkErrorFailsCampaign(t *testing.T) {
 	cfg := tinyConfig(t, []InjectorSource{Registry(fault.NoopName)})
 	cfg.Sink = &failingSink{}

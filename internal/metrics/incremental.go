@@ -38,6 +38,10 @@ type ReportBuilder struct {
 	injector string
 	eps      []episodeStat
 	running  stats.Welford
+	// Running violation tallies: totals are exact integer counts, so unlike
+	// the float accumulators they are order-independent by construction.
+	violations   int
+	violEpisodes int
 }
 
 // NewReportBuilder starts an empty builder for one scenario column.
@@ -59,6 +63,10 @@ func (b *ReportBuilder) Add(r EpisodeRecord) {
 	s.ttv, s.hasTTV = r.TTV()
 	b.eps = append(b.eps, s)
 	b.running.Add(s.vpk)
+	b.violations += s.violations
+	if s.violations > 0 {
+		b.violEpisodes++
+	}
 }
 
 // Episodes reports how many records have been added.
@@ -68,6 +76,15 @@ func (b *ReportBuilder) Episodes() int { return len(b.eps) }
 // per-episode VPK seen so far — cheap mid-campaign progress, no Build.
 func (b *ReportBuilder) RunningVPK() (mean, stddev float64, n int) {
 	return b.running.Mean(), b.running.StdDev(), b.running.N()
+}
+
+// RunningViolations reports the column's violation tallies so far: the
+// total violation count and the number of episodes with at least one
+// violation. violations matches Build().TotalViolations; violEpisodes over
+// Episodes() is the column's running violation rate — the per-cell risk
+// signal adaptive campaign policies allocate episodes by.
+func (b *ReportBuilder) RunningViolations() (violations, violEpisodes int) {
+	return b.violations, b.violEpisodes
 }
 
 // Build produces the column's Report. Episodes are re-ordered by (mission,

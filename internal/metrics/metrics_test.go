@@ -142,6 +142,20 @@ func TestReportBuilderMatchesBatchAnyOrder(t *testing.T) {
 	if stddev <= 0 {
 		t.Errorf("RunningVPK stddev = %v, want > 0", stddev)
 	}
+
+	violations, violEpisodes := b.RunningViolations()
+	if violations != want.TotalViolations {
+		t.Errorf("RunningViolations total = %d, batch TotalViolations = %d", violations, want.TotalViolations)
+	}
+	wantViolEps := 0
+	for _, r := range records {
+		if len(r.Violations) > 0 {
+			wantViolEps++
+		}
+	}
+	if violEpisodes != wantViolEps {
+		t.Errorf("RunningViolations episodes = %d, want %d", violEpisodes, wantViolEps)
+	}
 }
 
 func TestFromSimResult(t *testing.T) {

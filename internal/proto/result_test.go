@@ -1,0 +1,95 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEpisodeResultRoundTrip(t *testing.T) {
+	in := &EpisodeResult{
+		Status: 3, Success: true, Frames: 451,
+		DistanceM: 812.375, DurationS: 30.25, RouteLengthM: 901.5,
+		Violations: []WireViolation{
+			{Kind: 1, TimeSec: 4.5, PosX: -12.25, PosY: 88.0625},
+			{Kind: 4, TimeSec: 11.75, PosX: 3, PosY: -7},
+		},
+	}
+	buf := EncodeEpisodeResult(in)
+	if k, err := Kind(buf); err != nil || k != KindEpisodeResult {
+		t.Fatalf("Kind = %v, %v", k, err)
+	}
+	out, err := DecodeEpisodeResult(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mangled:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestEpisodeResultNoViolations(t *testing.T) {
+	in := &EpisodeResult{Status: 2, Success: true, Frames: 10, DistanceM: 5}
+	out, err := DecodeEpisodeResult(EncodeEpisodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mangled: %+v vs %+v", in, out)
+	}
+}
+
+func TestEpisodeResultRejectsGarbage(t *testing.T) {
+	if _, err := DecodeEpisodeResult(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecodeEpisodeResult(EncodeControl(&Control{Frame: 1})); err == nil {
+		t.Error("control accepted as episode result")
+	}
+	// Truncate mid-violation list.
+	full := EncodeEpisodeResult(&EpisodeResult{
+		Violations: []WireViolation{{Kind: 2, TimeSec: 1}},
+	})
+	if _, err := DecodeEpisodeResult(full[:len(full)-4]); err == nil {
+		t.Error("truncated violation list accepted")
+	}
+}
+
+func TestEpisodeResultTruncatesOversizedViolationList(t *testing.T) {
+	in := &EpisodeResult{Violations: make([]WireViolation, MaxViolations+5)}
+	out, err := DecodeEpisodeResult(EncodeEpisodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) != MaxViolations {
+		t.Errorf("violations = %d, want truncation to %d", len(out.Violations), MaxViolations)
+	}
+}
+
+func TestOpenEpisodeWantResultRoundTrip(t *testing.T) {
+	in := &OpenEpisode{From: 1, To: 2, Seed: 9, WantResult: true}
+	out, err := DecodeOpenEpisode(EncodeOpenEpisode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Errorf("round trip mangled: %+v vs %+v", in, out)
+	}
+}
+
+// TestOpenEpisodeLegacyBufferDecodes pins wire compatibility: a buffer from
+// a pre-WantResult encoder (no trailing byte) must still decode, with
+// WantResult defaulting to false.
+func TestOpenEpisodeLegacyBufferDecodes(t *testing.T) {
+	buf := EncodeOpenEpisode(&OpenEpisode{From: 11, To: 29, Seed: 7, NumNPCs: 3})
+	legacy := buf[:len(buf)-1] // strip the optional trailing byte
+	out, err := DecodeOpenEpisode(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WantResult {
+		t.Error("legacy buffer decoded with WantResult set")
+	}
+	if out.From != 11 || out.To != 29 || out.Seed != 7 || out.NumNPCs != 3 {
+		t.Errorf("legacy fields mangled: %+v", out)
+	}
+}

@@ -30,10 +30,11 @@ const MaxReason = 1 << 12
 
 // OpenEpisode asks the server to start an episode on the enclosing
 // envelope's session. It is the wire form of sim.EpisodeConfig: the server
-// owns the world and builds the episode from these parameters. Note the
-// wire protocol carries only the EpisodeEnd summary back; full results
-// (violation lists for metrics) are read from the Server in-process, so a
-// truly remote campaign would need an additional result message.
+// owns the world and builds the episode from these parameters. By default
+// the wire protocol carries only the EpisodeEnd summary back; set
+// WantResult for the full EpisodeResult message (violation list included),
+// which is what lets a truly remote campaign skip the in-process
+// Server.Result side channel.
 type OpenEpisode struct {
 	// From and To are the mission's start and goal intersections (NodeIDs).
 	From, To uint32
@@ -47,6 +48,10 @@ type OpenEpisode struct {
 	// TimeoutSec and GoalRadius override episode defaults when non-zero.
 	TimeoutSec float64
 	GoalRadius float64
+	// WantResult asks the server to send the full EpisodeResult message
+	// before EpisodeEnd. Encoded as an optional trailing byte: buffers from
+	// older encoders decode with it false, and older decoders ignore it.
+	WantResult bool
 }
 
 // SessionError reports a failed session (e.g. episode construction error).
@@ -85,7 +90,7 @@ func DecodeEnvelope(buf []byte) (uint32, []byte, error) {
 
 // EncodeOpenEpisode serializes o with its kind tag.
 func EncodeOpenEpisode(o *OpenEpisode) []byte {
-	buf := make([]byte, 0, 2+4+4+8+1+2+2+8+8)
+	buf := make([]byte, 0, 2+4+4+8+1+2+2+8+8+1)
 	buf = append(buf, Version, byte(KindOpenEpisode))
 	buf = appendUint32(buf, o.From)
 	buf = appendUint32(buf, o.To)
@@ -95,6 +100,7 @@ func EncodeOpenEpisode(o *OpenEpisode) []byte {
 	buf = appendUint16(buf, o.NumPedestrians)
 	buf = appendFloat(buf, o.TimeoutSec)
 	buf = appendFloat(buf, o.GoalRadius)
+	buf = append(buf, boolByte(o.WantResult))
 	return buf
 }
 
@@ -115,6 +121,11 @@ func DecodeOpenEpisode(buf []byte) (*OpenEpisode, error) {
 	o.NumPedestrians = r.uint16()
 	o.TimeoutSec = r.float()
 	o.GoalRadius = r.float()
+	// WantResult is an optional trailing extension: absent in buffers from
+	// pre-EpisodeResult encoders, which must keep decoding (as false).
+	if r.err == nil && r.off < len(buf) {
+		o.WantResult = r.byte() != 0
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: open episode: %v", ErrCodec, r.err)
 	}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/avfi/avfi/internal/geom"
 	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/sim"
 	"github.com/avfi/avfi/internal/transport"
 )
 
@@ -136,10 +138,10 @@ func (c *Client) register() (uint32, *session) {
 	c.next++
 	sid := c.next
 	s := &session{
-		// Deep enough for the final done-frame plus the trailing
-		// EpisodeEnd, which the server sends back-to-back without an
-		// intervening control.
-		data: make(chan []byte, 2),
+		// Deep enough for the final done-frame, the optional full
+		// EpisodeResult, and the trailing EpisodeEnd, which the server
+		// sends back-to-back without an intervening control.
+		data: make(chan []byte, 3),
 		fail: make(chan error, 1),
 	}
 	c.sessions[sid] = s
@@ -158,11 +160,31 @@ func (c *Client) unregister(sid uint32) {
 // lookup) with the server's final episode summary. Safe for concurrent use
 // from many workers.
 func (c *Client) RunEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.EpisodeEnd, error) {
+	sid, _, end, err := c.runEpisode(open, d)
+	return sid, end, err
+}
+
+// RunEpisodeResult is RunEpisode with the full result requested on the
+// wire: the OpenEpisode is sent with WantResult set, and the server's
+// EpisodeResult (violation list included) is returned alongside the
+// summary — no in-process Server.Result side channel, so it works against
+// a truly remote engine. The result is nil when the server predates the
+// EpisodeResult message (its stash is then still consultable in-process).
+func (c *Client) RunEpisodeResult(open *proto.OpenEpisode, d Driver) (uint32, *proto.EpisodeResult, *proto.EpisodeEnd, error) {
+	o := *open
+	o.WantResult = true
+	return c.runEpisode(&o, d)
+}
+
+// runEpisode is the shared episode loop behind RunEpisode and
+// RunEpisodeResult.
+func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.EpisodeResult, *proto.EpisodeEnd, error) {
 	sid, s := c.register()
 	defer c.unregister(sid)
+	var result *proto.EpisodeResult
 
 	if err := c.conn.Send(proto.EncodeEnvelope(sid, proto.EncodeOpenEpisode(open))); err != nil {
-		return sid, nil, fmt.Errorf("simclient: session %d: open: %w", sid, err)
+		return sid, nil, nil, fmt.Errorf("simclient: session %d: open: %w", sid, err)
 	}
 	d.Reset()
 	for {
@@ -170,38 +192,67 @@ func (c *Client) RunEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 		select {
 		case inner = <-s.data:
 		case err := <-s.fail:
-			return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+			return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 		case <-c.done:
 			// Drain a message that raced the shutdown.
 			select {
 			case inner = <-s.data:
 			default:
 				if err := c.Err(); err != nil {
-					return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+					return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 				}
-				return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, ErrClientClosed)
+				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, ErrClientClosed)
 			}
 		}
-		// The session layer adds one message the legacy loop never sees:
-		// an aborted open.
-		if kind, err := proto.Kind(inner); err == nil && kind == proto.KindSessionError {
+		// The session layer adds messages the legacy loop never sees: an
+		// aborted open, and the full result preceding EpisodeEnd.
+		switch kind, err := proto.Kind(inner); {
+		case err == nil && kind == proto.KindSessionError:
 			se, err := proto.DecodeSessionError(inner)
 			if err != nil {
-				return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 			}
-			return sid, nil, &SessionError{SID: sid, Reason: se.Reason}
+			return sid, nil, nil, &SessionError{SID: sid, Reason: se.Reason}
+		case err == nil && kind == proto.KindEpisodeResult:
+			result, err = proto.DecodeEpisodeResult(inner)
+			if err != nil {
+				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+			}
+			continue
 		}
 		reply, end, err := episodeStep(inner, d)
 		if err != nil {
-			return sid, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
+			return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 		}
 		if end != nil {
-			return sid, end, nil
+			return sid, result, end, nil
 		}
 		if reply != nil {
 			if err := c.conn.Send(proto.EncodeEnvelope(sid, reply)); err != nil {
-				return sid, nil, fmt.Errorf("simclient: session %d: send control: %w", sid, err)
+				return sid, nil, nil, fmt.Errorf("simclient: session %d: send control: %w", sid, err)
 			}
 		}
 	}
+}
+
+// SimResult converts a full wire result back into the sim.Result the
+// server serialized — the inverse of simserver.WireResult, bit-exact for
+// every float field.
+func SimResult(w *proto.EpisodeResult) sim.Result {
+	res := sim.Result{
+		Status:       sim.Status(w.Status),
+		Success:      w.Success,
+		Frames:       int(w.Frames),
+		DistanceM:    w.DistanceM,
+		DurationS:    w.DurationS,
+		RouteLengthM: w.RouteLengthM,
+	}
+	for _, v := range w.Violations {
+		res.Violations = append(res.Violations, sim.Violation{
+			Kind:    sim.ViolationKind(v.Kind),
+			TimeSec: v.TimeSec,
+			Pos:     geom.Vec{X: v.PosX, Y: v.PosY},
+		})
+	}
+	return res
 }

@@ -209,12 +209,19 @@ func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpi
 	}
 
 	res := e.Result()
-	// Record before announcing the end so a client that queries Result
-	// immediately after its EpisodeEnd always finds it.
 	s.mu.Lock()
-	s.results[sid] = res
+	if !open.WantResult {
+		// Record before announcing the end so a client that queries Result
+		// immediately after its EpisodeEnd always finds it. Sessions that
+		// asked for the result on the wire get it there instead — no
+		// server-side stash to consume (or leak when nobody does).
+		s.results[sid] = res
+	}
 	s.completed++
 	s.mu.Unlock()
+	if open.WantResult {
+		_ = conn.Send(proto.EncodeEnvelope(sid, proto.EncodeEpisodeResult(WireResult(res))))
+	}
 	_ = conn.Send(proto.EncodeEnvelope(sid, proto.EncodeEpisodeEnd(resultEnd(res))))
 }
 
@@ -228,8 +235,10 @@ func (s *Server) closeSession(sid uint32) {
 
 // Result returns the finished sim result for a session, consuming it. It
 // is an in-process API: the wire EpisodeEnd carries only a summary, so
-// campaign metrics (which need the violation list) read the full result
-// here, on the server side of the engine.
+// legacy clients (which need the violation list for metrics) read the full
+// result here, on the server side of the engine. Sessions whose OpenEpisode
+// set WantResult received the result on the wire instead and are never
+// stashed here.
 func (s *Server) Result(sid uint32) (sim.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -2,6 +2,7 @@ package simserver
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -400,5 +401,63 @@ func TestDemuxControlOverflowDropsSession(t *testing.T) {
 	client.Close()
 	if err := <-serveDone; err != nil {
 		t.Errorf("Serve returned %v", err)
+	}
+}
+
+// TestFullResultOverWire pins the EpisodeResult path: a session opened
+// with WantResult receives the complete sim.Result on the wire —
+// bit-identical to what the legacy Server.Result side channel returns for
+// the same seed — and leaves nothing stashed server-side.
+func TestFullResultOverWire(t *testing.T) {
+	w := testWorld(t)
+	srv := NewServer(worldFactory(w))
+	serverConn, clientConn := transport.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serverConn) }()
+	client := simclient.NewClient(clientConn)
+
+	from, to := mission(t, w, 9)
+	open := &proto.OpenEpisode{
+		From: uint32(from), To: uint32(to), Seed: 9, TimeoutSec: 1.0,
+	}
+	driver := func() *simclient.AutopilotDriver {
+		return &simclient.AutopilotDriver{
+			Fn: func(*proto.SensorFrame) physics.Control { return physics.Control{Steer: 0.3, Throttle: 1} },
+		}
+	}
+
+	// Legacy path: summary on the wire, full result from the stash.
+	legacySID, legacyEnd, err := client.RunEpisode(open, driver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyRes, ok := srv.Result(legacySID)
+	if !ok {
+		t.Fatal("legacy session left no stashed result")
+	}
+
+	// Wire path: the same episode (same seed) with the result requested.
+	wireSID, wireRes, wireEnd, err := client.RunEpisodeResult(open, driver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireRes == nil {
+		t.Fatal("RunEpisodeResult returned no wire result")
+	}
+	if !reflect.DeepEqual(simclient.SimResult(wireRes), legacyRes) {
+		t.Errorf("wire result diverged from stash:\n wire  %+v\n stash %+v",
+			simclient.SimResult(wireRes), legacyRes)
+	}
+	if wireEnd.Frames != legacyEnd.Frames || wireEnd.DistanceM != legacyEnd.DistanceM {
+		t.Errorf("episode summaries diverged: %+v vs %+v", wireEnd, legacyEnd)
+	}
+	// No stash for WantResult sessions: nothing to consume or leak.
+	if _, ok := srv.Result(wireSID); ok {
+		t.Error("WantResult session also stashed its result server-side")
+	}
+
+	client.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v after clean close", err)
 	}
 }

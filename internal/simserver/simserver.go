@@ -38,13 +38,36 @@ func obsFrame(obs sim.Observation) *proto.SensorFrame {
 	}
 }
 
-// resultEnd converts a final sim result into its wire form.
+// resultEnd converts a final sim result into its summary wire form.
 func resultEnd(res sim.Result) *proto.EpisodeEnd {
 	return &proto.EpisodeEnd{
 		Status:    uint8(res.Status),
 		Frames:    uint32(res.Frames),
 		DistanceM: res.DistanceM,
 	}
+}
+
+// WireResult converts a final sim result into its full wire form — the
+// EpisodeResult message sessions opt into with OpenEpisode.WantResult.
+// simclient.SimResult is the inverse; the pair round-trips bit-exactly.
+func WireResult(res sim.Result) *proto.EpisodeResult {
+	out := &proto.EpisodeResult{
+		Status:       uint8(res.Status),
+		Success:      res.Success,
+		Frames:       uint32(res.Frames),
+		DistanceM:    res.DistanceM,
+		DurationS:    res.DurationS,
+		RouteLengthM: res.RouteLengthM,
+	}
+	for _, v := range res.Violations {
+		out.Violations = append(out.Violations, proto.WireViolation{
+			Kind:    uint8(v.Kind),
+			TimeSec: v.TimeSec,
+			PosX:    v.Pos.X,
+			PosY:    v.Pos.Y,
+		})
+	}
+	return out
 }
 
 // ServeEpisode drives one episode over the connection until the mission
