@@ -38,7 +38,14 @@
 //     campaign seed;
 //   - campaign resume: LoadRecordsJSONL turns a partial JSONL episode log
 //     back into records, and CampaignConfig.Resume seeds a new run with
-//     them, skipping every (cell, mission, repetition) already recorded.
+//     them, skipping every (cell, mission, repetition) already recorded;
+//   - a distributed fleet mode: SimWorker serves episodes to remote
+//     campaigns (avfi -serve), PoolConfig.Backends dials a fleet of
+//     workers round-robin with retry and dead-worker replacement, and
+//     ShardSinks/LoadRecordsDir/MergeRecordsJSONL shard the durable
+//     episode log across independent writers — all bit-identical to the
+//     single in-process engine run for the same seed, even under a
+//     mid-campaign backend kill.
 //
 // # Quick start
 //
@@ -108,6 +115,7 @@ import (
 	"github.com/avfi/avfi/internal/render"
 	"github.com/avfi/avfi/internal/rng"
 	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/simserver"
 	"github.com/avfi/avfi/internal/world"
 )
 
@@ -144,6 +152,10 @@ type (
 	// CellProgress is one cell's running aggregate (VPK stats plus
 	// violation tallies), delivered to CampaignConfig.ProgressV2.
 	CellProgress = campaign.CellProgress
+	// SimWorker is a standalone remote simulator backend: it accepts many
+	// campaign connections over its lifetime, each served by its own
+	// session-multiplexed engine (see NewSimWorker and PoolConfig.Backends).
+	SimWorker = simserver.Worker
 )
 
 // Adaptive campaign orchestration (Runner.RunAdaptive): risk-driven
@@ -340,6 +352,35 @@ func WriteJSON(w io.Writer, rs *ResultSet) error { return campaign.WriteJSON(w, 
 // CampaignConfig.Sink (typically with DiscardRecords) for million-episode
 // sweeps. The caller keeps ownership of w.
 func NewJSONLSink(w io.Writer) RecordSink { return campaign.NewJSONLSink(w) }
+
+// NewSimWorker builds a standalone simulator worker serving w's episodes
+// to remote campaigns: Listen/Serve accept campaign connections for the
+// worker's whole lifetime (avfi -serve is this, as a process). A campaign
+// whose PoolConfig.Backends lists the worker's address produces results
+// bit-identical to an in-process run, provided the worker's world
+// configuration matches the campaign's.
+func NewSimWorker(w *World) *SimWorker {
+	return simserver.NewWorker(simserver.WorldFactory(w))
+}
+
+// ShardLogName names shard i's JSONL record log inside a sharded
+// -stream-records directory ("records-<i>.jsonl").
+func ShardLogName(i int) string { return campaign.ShardLogName(i) }
+
+// LoadRecordsDir reads every shard log (records-*.jsonl) in a sharded
+// record directory, in the canonical campaign order — the directory
+// counterpart of LoadRecordsJSONL for CampaignConfig.Resume.
+func LoadRecordsDir(dir string) ([]EpisodeRecord, error) {
+	return campaign.LoadRecordsDir(dir)
+}
+
+// MergeRecordsJSONL merges any set of episode logs — shard logs, single
+// logs, or a mix — into the canonical sorted JSONL record stream on w,
+// returning the record count. Sharded and single-sink runs of the same
+// campaign merge to byte-identical output.
+func MergeRecordsJSONL(w io.Writer, sources ...io.Reader) (int, error) {
+	return campaign.MergeRecordsJSONL(w, sources...)
+}
 
 // LoadRecordsJSONL reads the episode records of a JSONL record sink — the
 // durable log of a partial campaign. A truncated final line (crash

@@ -1,0 +1,96 @@
+// Command avfi-bench2json renders `go test -bench` output into a JSON
+// document, so CI can persist a machine-readable perf trajectory (e.g.
+// BENCH_pool.json from BenchmarkCampaignPool) instead of a text log.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkCampaignPool -benchtime=1x ./internal/campaign/ | avfi-bench2json > BENCH_pool.json
+//
+// Non-benchmark lines (goos/goarch headers, PASS, ok) are ignored. Each
+// benchmark line becomes one entry with its iteration count and every
+// reported metric (ns/op, episodes/sec, B/op, ...) keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line, decoded.
+type BenchResult struct {
+	// Name is the full benchmark path, e.g.
+	// "BenchmarkCampaignPool/remote-4-8".
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages cover.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit to its value, e.g.
+	// {"ns/op": 5.1e8, "episodes/sec": 62.76}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "avfi-bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseBench extracts every benchmark line from go test -bench output.
+func parseBench(in io.Reader) ([]BenchResult, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	results := []BenchResult{}
+	for sc.Scan() {
+		res, ok, err := parseBenchLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseBenchLine decodes one "BenchmarkX-8  N  V unit  V unit ..." line;
+// ok is false for every other kind of line.
+func parseBenchLine(line string) (BenchResult, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		// A line that happens to start with "Benchmark" but isn't a result
+		// (e.g. a failure message) is skipped, not fatal.
+		return BenchResult{}, false, nil
+	}
+	res := BenchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return BenchResult{}, false, fmt.Errorf("odd value/unit tail in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return BenchResult{}, false, fmt.Errorf("bad metric value %q in %q", rest[i], line)
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, true, nil
+}

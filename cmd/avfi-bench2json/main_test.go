@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/avfi/avfi/internal/campaign
+cpu: Shared KVM processor
+BenchmarkCampaignPool/inproc-1-8         	       1	509849302 ns/op	        31.38 episodes/sec
+BenchmarkCampaignPool/remote-4-8         	       2	128849302 ns/op	       124.17 episodes/sec
+PASS
+ok  	github.com/avfi/avfi/internal/campaign	3.297s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []BenchResult{
+		{
+			Name:       "BenchmarkCampaignPool/inproc-1-8",
+			Iterations: 1,
+			Metrics:    map[string]float64{"ns/op": 509849302, "episodes/sec": 31.38},
+		},
+		{
+			Name:       "BenchmarkCampaignPool/remote-4-8",
+			Iterations: 2,
+			Metrics:    map[string]float64{"ns/op": 128849302, "episodes/sec": 124.17},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseBench:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchResult
+	if err := json.Unmarshal(out.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(back) != 2 {
+		t.Errorf("round-tripped %d results, want 2", len(back))
+	}
+}
+
+// TestParseBenchNoResults: a bench run with no benchmark lines must still
+// produce a JSON array, not null — downstream tooling reads length.
+func TestParseBenchNoResults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 0.01s\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("empty bench run encoded as %q, want []", got)
+	}
+}
+
+func TestParseBenchBadMetric(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX-8 1 nope ns/op\n")); err == nil {
+		t.Error("unparseable metric value accepted")
+	}
+}

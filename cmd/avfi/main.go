@@ -9,19 +9,36 @@
 //	avfi -engines 4 -retries 2 -stream-records records.jsonl
 //	avfi -matrix -weathers clear,rain,fog -adaptive -policy ucb -budget 256
 //	avfi -resume records.jsonl -stream-records records.jsonl
+//	avfi -serve 0.0.0.0:7070                      # simulator worker
+//	avfi -backends host1:7070,host2:7070 -retries 3 -stream-records logs/
+//	avfi -resume logs/ -stream-records logs/ -backends host1:7070,host2:7070
+//
+// -serve turns the process into a standalone simulator worker: it accepts
+// campaign connections on the given address for its whole lifetime (each
+// connection gets its own session-multiplexed engine) until SIGINT/SIGTERM.
+// -backends points a campaign at such workers: instead of spawning
+// in-process engines, the pool dials the listed addresses round-robin —
+// health checks, bounded retry and dead-worker replacement included — and
+// produces results bit-identical to the in-process run for the same seed
+// (the workers must run the same world configuration, which for avfi
+// binaries is always DefaultWorldConfig).
 //
 // With -matrix, the flat (injector x mission x repetition) grid becomes a
 // scenario matrix: every combination of -weathers, -densities, -aeb,
 // -activations and -injectors is swept as its own campaign column. All
 // episodes ride a pool of persistent session-multiplexed engines — one
-// connection per engine (-engines, default 1; and, with -tcp, one listener
-// each) for the entire campaign, with least-loaded dispatch, bounded
-// episode retry (-retries) and replacement of dead backends. Results are
-// identical at any pool size for the same seed. -stream-records streams
-// every episode to a JSONL file as it completes; combined with neither
-// -records-csv nor -json, the campaign aggregates incrementally, keeping
-// only a small fixed-size statistics digest per episode instead of full
-// records.
+// connection per engine (-engines, default 1 in-process, one per backend
+// with -backends; and, with -tcp, one listener each) for the entire
+// campaign, with least-loaded dispatch, bounded episode retry (-retries)
+// and replacement of dead backends. Results are identical at any pool size
+// for the same seed. -stream-records streams every episode to a JSONL file
+// as it completes; given a directory (trailing slash, or an existing
+// directory) it shards the stream instead — one records-<i>.jsonl log per
+// engine slot, written by independent aggregation goroutines, mergeable
+// back into the canonical single log with MergeRecordsJSONL. Combined with
+// neither -records-csv nor -json, the campaign aggregates incrementally,
+// keeping only a small fixed-size statistics digest per episode instead of
+// full records.
 //
 // -adaptive replaces the exhaustive sweep with the risk-driven
 // orchestrator: rounds of -round episodes are allocated over scenario
@@ -29,11 +46,12 @@
 // observed so far, within a total budget of -budget episodes (0 = the
 // full grid). A per-round progress line reports where the budget went.
 //
-// -resume loads a JSONL episode log from an earlier partial run (its
-// truncated final line, if any, is dropped): recorded episodes are not
-// re-run, their statistics seed the reports — and, with -adaptive, the
-// allocation posteriors. Resuming into the same -stream-records file
-// appends the fresh episodes to the log instead of truncating it.
+// -resume loads a JSONL episode log — or a whole shard directory — from an
+// earlier partial run (truncated final lines are dropped): recorded
+// episodes are not re-run, their statistics seed the reports — and, with
+// -adaptive, the allocation posteriors. Resuming into the same
+// -stream-records file or directory appends the fresh episodes to the
+// log(s) instead of truncating them.
 //
 // Without -agent, the driving agent is trained in-process from the oracle
 // autopilot first (about a minute); save one with avfi-train to skip that.
@@ -46,19 +64,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"github.com/avfi/avfi"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the campaign (in-flight episodes finish, the
+	// rest is abandoned — resumable from the streamed log) and gracefully
+	// stop a -serve worker.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "avfi: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		injectors  = flag.String("injectors", "noinject,gaussian,saltpepper,solidocc,transpocc,waterdrop", "comma-separated injector names, or 'all'")
 		listInj    = flag.Bool("list", false, "list registered injectors and exit")
@@ -79,14 +106,16 @@ func run() error {
 		reportsCSV = flag.String("reports-csv", "", "write per-injector reports CSV here")
 		jsonPath   = flag.String("json", "", "write the full result set as JSON here")
 		parallel   = flag.Int("parallel", 0, "concurrent episodes (0 = NumCPU)")
-		engines    = flag.Int("engines", 1, "persistent engines in the pool (each its own server+connection)")
+		engines    = flag.Int("engines", 0, "persistent engines in the pool, each its own server+connection (0 = auto: one per -backends worker, else 1)")
 		retries    = flag.Int("retries", 0, "per-episode retries after transient engine failures")
 		streamPath = flag.String("stream-records", "", "stream per-episode records to this JSONL file as they complete; without -records-csv/-json, records are not retained in memory")
 		adaptiveOn = flag.Bool("adaptive", false, "risk-driven episode allocation instead of the exhaustive sweep")
 		policyName = flag.String("policy", "ucb", "adaptive allocation policy: uniform|halving|ucb")
 		budget     = flag.Int("budget", 0, "adaptive total episode budget (0 = the full scenario grid)")
 		roundSize  = flag.Int("round", 0, "adaptive episodes per plan/observe/reallocate round (0 = auto)")
-		resumePath = flag.String("resume", "", "resume from this JSONL episode log: recorded episodes are not re-run")
+		resumePath = flag.String("resume", "", "resume from this JSONL episode log (or shard directory): recorded episodes are not re-run")
+		serveAddr  = flag.String("serve", "", "run as a simulator worker on this address (e.g. :7070) instead of a campaign")
+		backends   = flag.String("backends", "", "comma-separated remote worker addresses; the campaign dials these instead of spawning in-process engines")
 	)
 	flag.Parse()
 
@@ -95,6 +124,14 @@ func run() error {
 			fmt.Println(name)
 		}
 		return nil
+	}
+
+	if *serveAddr != "" {
+		return serveWorker(ctx, *serveAddr, avfi.DefaultWorldConfig(), os.Stderr)
+	}
+	backendList, err := parseBackends(*backends)
+	if err != nil {
+		return err
 	}
 
 	var sources []avfi.InjectorSource
@@ -141,52 +178,80 @@ func run() error {
 		Weather:        w,
 		UseTCP:         *useTCP,
 		Parallelism:    *parallel,
-		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries},
+		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries, Backends: backendList},
 		Seed:           *seed,
 	}
 	if *resumePath != "" {
-		f, err := os.Open(*resumePath)
-		if err != nil {
-			return err
-		}
-		resumed, err := avfi.LoadRecordsJSONL(f)
-		f.Close()
-		if err != nil {
-			return err
+		var resumed []avfi.EpisodeRecord
+		if isDirPath(*resumePath) {
+			resumed, err = avfi.LoadRecordsDir(*resumePath)
+			if err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Open(*resumePath)
+			if err != nil {
+				return err
+			}
+			resumed, err = avfi.LoadRecordsJSONL(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
 		}
 		cfg.Resume = resumed
 		fmt.Fprintf(os.Stderr, "resuming: %d episodes already on record in %s\n", len(resumed), *resumePath)
 	}
-	var streamFile *os.File
+	var streamFiles []*os.File
 	if *streamPath != "" {
-		var f *os.File
-		var err error
-		if *resumePath != "" && sameFile(*streamPath, *resumePath) {
-			// Continuing the same durable log: clamp away any
-			// crash-truncated partial tail (LoadRecordsJSONL dropped it
-			// too), then append the fresh episodes — the recorded ones
-			// were loaded above and are not re-sunk.
-			f, err = os.OpenFile(*streamPath, os.O_RDWR, 0o644)
-			if err == nil {
-				if err = clampToCompleteLines(f); err == nil {
-					_, err = f.Seek(0, io.SeekEnd)
-				}
-				if err != nil {
-					f.Close()
-				}
+		appendMode := *resumePath != "" && sameFile(*streamPath, *resumePath)
+		if isDirPath(*streamPath) {
+			// A fresh sharded run clears the directory's old shard logs —
+			// which would destroy a resume source living inside it before
+			// its episodes were re-streamed (seeded records are never
+			// re-sunk). Refuse rather than silently hole the durable log.
+			if !appendMode && *resumePath != "" && sameFile(filepath.Dir(*resumePath), *streamPath) {
+				return fmt.Errorf("-resume %s lives inside the -stream-records directory %s; resume from the directory itself to append, or stream elsewhere",
+					*resumePath, *streamPath)
+			}
+			// Sharded stream: one JSONL log per engine slot, each written
+			// by its own aggregation goroutine. Sized by the scheduler's
+			// rule (PoolSize); campaigns small enough for the scheduler to
+			// clamp further just leave the surplus shards empty.
+			workers := *parallel
+			if workers <= 0 {
+				workers = runtime.NumCPU()
+			}
+			files, err := openShardLogs(*streamPath, cfg.Pool.PoolSize(workers), appendMode)
+			if err != nil {
+				return err
+			}
+			for _, f := range files {
+				defer f.Close()
+				streamFiles = append(streamFiles, f)
+				cfg.ShardSinks = append(cfg.ShardSinks, avfi.NewJSONLSink(f))
 			}
 		} else {
-			f, err = os.Create(*streamPath)
+			var f *os.File
+			if appendMode {
+				// Continuing the same durable log: clamp away any
+				// crash-truncated partial tail (LoadRecordsJSONL dropped it
+				// too), then append the fresh episodes — the recorded ones
+				// were loaded above and are not re-sunk.
+				f, err = openClampedForAppend(*streamPath)
+			} else {
+				f, err = os.Create(*streamPath)
+			}
+			if err != nil {
+				return err
+			}
+			// Backstop for early error returns; the success path closes
+			// explicitly below and checks the error (write-back failures can
+			// surface at close, and these files are the durable episode log).
+			defer f.Close()
+			streamFiles = append(streamFiles, f)
+			cfg.Sink = avfi.NewJSONLSink(f)
 		}
-		if err != nil {
-			return err
-		}
-		// Backstop for early error returns; the success path closes
-		// explicitly below and checks the error (write-back failures can
-		// surface at close, and this file is the durable episode log).
-		defer f.Close()
-		streamFile = f
-		cfg.Sink = avfi.NewJSONLSink(f)
 		// With the records streamed to disk and no consumer of the
 		// in-memory copy, aggregate incrementally instead of retaining
 		// O(episodes) memory.
@@ -210,7 +275,7 @@ func run() error {
 	if *adaptiveOn {
 		fmt.Fprintf(os.Stderr, "adaptive campaign over %d scenario columns x %d missions x %d reps (policy %s, budget %d)...\n",
 			columns, *missions, *reps, policy.Name(), *budget)
-		rs, err = runner.RunAdaptive(context.Background(), avfi.AdaptiveConfig{
+		rs, err = runner.RunAdaptive(ctx, avfi.AdaptiveConfig{
 			Policy:    policy,
 			Budget:    *budget,
 			RoundSize: *roundSize,
@@ -225,7 +290,7 @@ func run() error {
 	} else {
 		fmt.Fprintf(os.Stderr, "running %d scenario columns x %d missions x %d reps...\n",
 			columns, *missions, *reps)
-		rs, err = runner.Run()
+		rs, err = runner.RunContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -277,12 +342,139 @@ func run() error {
 			return err
 		}
 	}
-	if streamFile != nil {
-		if err := streamFile.Close(); err != nil {
+	for _, f := range streamFiles {
+		if err := f.Close(); err != nil {
 			return fmt.Errorf("stream-records: %w", err)
 		}
 	}
 	return nil
+}
+
+// serveWorker runs the process as a standalone simulator worker: a world
+// built from wcfg, serving campaign connections on addr until ctx is
+// cancelled (SIGINT/SIGTERM in main). The bound address is announced on
+// out — with ":0", that line is how callers learn the port.
+func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io.Writer) error {
+	w, err := avfi.NewWorld(wcfg)
+	if err != nil {
+		return err
+	}
+	worker := avfi.NewSimWorker(w)
+	bound, err := worker.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "worker: serving simulator backend on %s\n", bound)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			worker.Close()
+		case <-done:
+		}
+	}()
+	err = worker.Serve()
+	if ctx.Err() != nil {
+		fmt.Fprintf(out, "worker: shut down after %d connection(s)\n", worker.ConnsServed())
+		return nil
+	}
+	return err
+}
+
+// parseBackends splits the -backends list, rejecting empty entries (the
+// typo signature of a stray comma).
+func parseBackends(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("-backends %q has an empty address", s)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// isDirPath reports whether path names a directory — an existing one, or
+// one spelled with a trailing separator (the caller will create it).
+func isDirPath(path string) bool {
+	if strings.HasSuffix(path, "/") || strings.HasSuffix(path, string(os.PathSeparator)) {
+		return true
+	}
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
+}
+
+// openShardLogs opens n shard logs (records-<i>.jsonl) inside dir,
+// creating it as needed. In append mode existing shards are clamped to
+// their last complete line and appended to (the resume loader dropped the
+// partial tail too). Otherwise this is a fresh campaign: every existing
+// records-*.jsonl is removed first — truncating only the first n would
+// leave a previous, larger run's higher-numbered shards on disk for a
+// later -resume or merge to silently ingest. On any failure the
+// already-opened files are closed.
+func openShardLogs(dir string, n int, appendMode bool) ([]*os.File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if !appendMode {
+		stale, err := filepath.Glob(filepath.Join(dir, "records-*.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		for _, path := range stale {
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var files []*os.File
+	fail := func(err error) ([]*os.File, error) {
+		for _, f := range files {
+			f.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		path := filepath.Join(dir, avfi.ShardLogName(i))
+		var f *os.File
+		var err error
+		if appendMode {
+			if _, statErr := os.Stat(path); statErr == nil {
+				f, err = openClampedForAppend(path)
+			} else {
+				f, err = os.Create(path)
+			}
+		} else {
+			f, err = os.Create(path)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// openClampedForAppend opens an existing log for appending after clamping
+// away any crash-truncated partial tail.
+func openClampedForAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err = clampToCompleteLines(f); err == nil {
+		_, err = f.Seek(0, io.SeekEnd)
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 // parseMatrix assembles the -matrix scenario space from its flag values.

@@ -1,9 +1,21 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"flag"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"github.com/avfi/avfi"
 )
 
 func TestClampToCompleteLines(t *testing.T) {
@@ -65,4 +77,233 @@ func mustGetwd(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return wd
+}
+
+// tinyServeWorld keeps -serve tests fast: the worker builds this world
+// instead of the full DefaultWorldConfig one.
+func tinyServeWorld() avfi.WorldConfig {
+	cfg := avfi.DefaultWorldConfig()
+	cfg.Town.GridW, cfg.Town.GridH = 3, 3
+	cfg.Camera.Width, cfg.Camera.Height = 16, 12
+	return cfg
+}
+
+// syncBuffer lets the test read worker output while serveWorker is still
+// writing it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestServeWorkerInvalidAddress(t *testing.T) {
+	err := serveWorker(context.Background(), "definitely.not.a.host:notaport", tinyServeWorld(), &syncBuffer{})
+	if err == nil {
+		t.Fatal("serveWorker accepted an unparseable address")
+	}
+}
+
+func TestServeWorkerAlreadyBound(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := serveWorker(context.Background(), l.Addr().String(), tinyServeWorld(), &syncBuffer{}); err == nil {
+		t.Fatal("serveWorker bound an address another listener holds")
+	}
+}
+
+// waitForServing polls the worker's output until it announces its bound
+// address, so shutdown tests cannot race worker startup.
+func waitForServing(t *testing.T, out *syncBuffer) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(out.String(), "serving simulator backend on") {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("worker never announced its address; output so far: %q", out.String())
+}
+
+func TestServeWorkerGracefulContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- serveWorker(ctx, "127.0.0.1:0", tinyServeWorld(), out) }()
+	waitForServing(t, out)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled worker exited with %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not shut down on context cancellation")
+	}
+	if !strings.Contains(out.String(), "shut down") {
+		t.Errorf("worker output missing shutdown notice: %q", out.String())
+	}
+}
+
+func TestServeWorkerGracefulSIGTERM(t *testing.T) {
+	// The same signal context main installs: SIGTERM must cancel it and
+	// bring the worker down cleanly, not kill the process.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- serveWorker(ctx, "127.0.0.1:0", tinyServeWorld(), out) }()
+	waitForServing(t, out)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM'd worker exited with %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not shut down on SIGTERM")
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	got, err := parseBackends(" host1:7070, host2:7070 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"host1:7070", "host2:7070"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseBackends = %v, want %v", got, want)
+	}
+	if got, err := parseBackends("  "); err != nil || got != nil {
+		t.Errorf("blank -backends = %v, %v; want nil, nil", got, err)
+	}
+	if _, err := parseBackends("host1:7070,,host2:7070"); err == nil {
+		t.Error("stray comma in -backends accepted")
+	}
+}
+
+func TestIsDirPath(t *testing.T) {
+	dir := t.TempDir()
+	if !isDirPath(dir) {
+		t.Error("existing directory not detected")
+	}
+	if !isDirPath(filepath.Join(dir, "new-logs") + "/") {
+		t.Error("trailing-slash path not treated as a directory")
+	}
+	if isDirPath(filepath.Join(dir, "records.jsonl")) {
+		t.Error("nonexistent plain file path treated as a directory")
+	}
+}
+
+// TestOpenShardLogsAppendClampsTails: append mode must clamp each existing
+// shard to its last complete line (dropping a crash-truncated tail) and
+// create shards that don't exist yet.
+func TestOpenShardLogsAppendClampsTails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, avfi.ShardLogName(0)),
+		[]byte("{\"a\":1}\n{\"b\":2}\n{\"c\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := openShardLogs(dir, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if _, err := f.WriteString("{\"fresh\":true}\n"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shard0, err := os.ReadFile(filepath.Join(dir, avfi.ShardLogName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(shard0), "{\"a\":1}\n{\"b\":2}\n{\"fresh\":true}\n"; got != want {
+		t.Errorf("shard 0 after clamped append = %q, want %q", got, want)
+	}
+	shard1, err := os.ReadFile(filepath.Join(dir, avfi.ShardLogName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(shard1), "{\"fresh\":true}\n"; got != want {
+		t.Errorf("fresh shard 1 = %q, want %q", got, want)
+	}
+}
+
+// TestFreshShardRunRefusesInDirResumeSource: resuming from a file inside
+// the stream directory without append mode must be refused up front —
+// openShardLogs would otherwise delete the resume source, and its
+// episodes (never re-sunk) would vanish from the durable log.
+func TestFreshShardRunRefusesInDirResumeSource(t *testing.T) {
+	dir := t.TempDir()
+	resume := filepath.Join(dir, avfi.ShardLogName(0))
+	if err := os.WriteFile(resume, []byte("{\"Injector\":\"noinject\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Args = []string{"avfi", "-resume", resume, "-stream-records", dir, "-missions", "1", "-reps", "1"}
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	err := run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "lives inside the -stream-records directory") {
+		t.Fatalf("run = %v, want refusal to delete the in-directory resume source", err)
+	}
+	if _, statErr := os.Stat(resume); statErr != nil {
+		t.Errorf("resume source was destroyed: %v", statErr)
+	}
+}
+
+// TestOpenShardLogsFreshRemovesStaleShards: a fresh (non-resume) sharded
+// run must clear every previous records-*.jsonl, not just truncate its
+// own n — a prior larger run's higher-numbered shards would otherwise be
+// silently ingested by a later -resume or merge of the directory.
+func TestOpenShardLogsFreshRemovesStaleShards(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 4; i++ {
+		if err := os.WriteFile(filepath.Join(dir, avfi.ShardLogName(i)),
+			[]byte("{\"stale\":true}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := openShardLogs(dir, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "records-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Errorf("fresh run left %d shard logs (%v), want exactly its own 2", len(left), left)
+	}
+	for _, path := range left {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 0 {
+			t.Errorf("%s not truncated: %q", filepath.Base(path), data)
+		}
+	}
 }

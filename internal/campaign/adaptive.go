@@ -171,7 +171,7 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 	}
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
-	pipe := newSinkPipeline(r.cells, r.cfg.Sink, !r.cfg.DiscardRecords, sess.parallelism,
+	pipe := newSinkPipeline(r.cells, r.sinkLanes(), !r.cfg.DiscardRecords, sess.parallelism,
 		func(err error) { cancel(err) }, r.cfg.Progress, r.cfg.ProgressV2, resumed)
 
 	// Posteriors start from the resumed episodes, folded in deterministic

@@ -22,6 +22,8 @@ package campaign
 import (
 	"fmt"
 	"hash/fnv"
+	"strings"
+	"sync/atomic"
 
 	"github.com/avfi/avfi/internal/agent"
 	"github.com/avfi/avfi/internal/fault"
@@ -91,16 +93,29 @@ type Config struct {
 	// DiscardRecords for campaigns too large to retain in memory; see
 	// NewJSONLSink.
 	Sink RecordSink
+	// ShardSinks, when non-empty, shards the streaming results pipeline:
+	// one aggregation goroutine and one RecordSink per entry, with scenario
+	// cells routed to shards round-robin in cell order. Each shard streams
+	// a disjoint slice of the campaign to its own sink (typically one JSONL
+	// log per engine — see cmd/avfi's -stream-records directory mode), so
+	// the single aggregation goroutine stops being the throughput ceiling;
+	// MergeRecordsJSONL reassembles the canonical single log. Mutually
+	// exclusive with Sink. Each sink sees only its own shard's records, in
+	// that shard's completion order.
+	ShardSinks []RecordSink
 	// Progress, when non-nil, is called after each episode is folded into
 	// its cell's aggregate, with the cell label, episodes aggregated so
 	// far, and the cell's Welford running VPK mean/stddev — the live
-	// per-cell signal adaptive sampling hooks into. Called from the single
-	// aggregation goroutine; keep it fast.
+	// per-cell signal adaptive sampling hooks into. Called from the cell's
+	// aggregation goroutine: one cell's updates are ordered, but with
+	// ShardSinks different cells' shards call concurrently, so the hook
+	// must be safe for concurrent use. Keep it fast.
 	Progress func(cell string, episodes int, meanVPK, stdVPK float64)
 	// ProgressV2, when non-nil, is called at the same points as Progress
-	// with the full per-cell running aggregate — violation tallies
-	// alongside the Welford VPK statistics. Both hooks may be set; episodes
-	// seeded via Resume fire neither.
+	// (and under the same concurrency contract) with the full per-cell
+	// running aggregate — violation tallies alongside the Welford VPK
+	// statistics. Both hooks may be set; episodes seeded via Resume fire
+	// neither.
 	ProgressV2 func(CellProgress)
 	// Resume seeds the campaign with episodes recorded by a prior partial
 	// run (typically loaded from a JSONL record sink with
@@ -183,6 +198,19 @@ func (c Config) Validate() error {
 	if c.Pool.Engines < 0 || c.Pool.MaxRetries < 0 {
 		return fmt.Errorf("campaign: pool engines=%d retries=%d must be non-negative", c.Pool.Engines, c.Pool.MaxRetries)
 	}
+	for i, addr := range c.Pool.Backends {
+		if strings.TrimSpace(addr) == "" {
+			return fmt.Errorf("campaign: pool backend %d is empty", i)
+		}
+	}
+	if c.Sink != nil && len(c.ShardSinks) > 0 {
+		return fmt.Errorf("campaign: Sink and ShardSinks are mutually exclusive")
+	}
+	for i, s := range c.ShardSinks {
+		if s == nil {
+			return fmt.Errorf("campaign: shard sink %d is nil", i)
+		}
+	}
 	if c.Agent.Agent == nil && c.Agent.Pretrain == nil {
 		return fmt.Errorf("campaign: no agent source")
 	}
@@ -211,8 +239,11 @@ type EngineStats struct {
 	// Engine is the engine's slot index in the pool (0 for single-engine
 	// campaigns and for the pool aggregate).
 	Engine int
-	// Transport is "pipe" or "tcp".
+	// Transport is "pipe", "tcp", or "remote" (a dialed Backends worker).
 	Transport string
+	// Backend is the remote worker address serving this engine slot (""
+	// for in-process engines).
+	Backend string `json:",omitempty"`
 	// Episodes is how many sessions the engine ran to completion —
 	// sessions aborted by factory failures, overflow drops or a dying
 	// connection are excluded, so under retry the pool aggregate normally
@@ -286,6 +317,8 @@ type Runner struct {
 	missions [][2]world.NodeID
 	// cells are the resolved scenario columns.
 	cells []runCell
+	// backendSeq drives the round-robin rotation over Pool.Backends.
+	backendSeq atomic.Uint64
 }
 
 // NewRunner builds the world, resolves the agent (training it on first use
@@ -365,6 +398,18 @@ type job struct {
 	repetition int
 }
 
+// sinkLanes resolves the configured sinks into the pipeline's lane list:
+// the shard sinks when sharded, the single sink otherwise (nil for none).
+func (r *Runner) sinkLanes() []RecordSink {
+	if len(r.cfg.ShardSinks) > 0 {
+		return r.cfg.ShardSinks
+	}
+	if r.cfg.Sink != nil {
+		return []RecordSink{r.cfg.Sink}
+	}
+	return nil
+}
+
 // episodeSeed derives the deterministic seed for one job. The key is the
 // scenario column label (the bare injector name for flat campaigns, which
 // keeps historical suites reproducing bit-identically).
@@ -416,7 +461,7 @@ func (r *Runner) runEpisode(eng *engine, j job) (metrics.EpisodeRecord, error) {
 	var res sim.Result
 	if wres != nil {
 		res = simclient.SimResult(wres)
-	} else if stashed, ok := eng.server.Result(sid); ok {
+	} else if stashed, ok := eng.stashedResult(sid); ok {
 		res = stashed
 	} else {
 		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: session %d: %w", cell.key, j.mission, j.repetition, sid, errNoResult)

@@ -3,25 +3,57 @@ package campaign
 import (
 	"fmt"
 	"sync"
+	"time"
 
-	"github.com/avfi/avfi/internal/proto"
 	"github.com/avfi/avfi/internal/sim"
 	"github.com/avfi/avfi/internal/simclient"
 	"github.com/avfi/avfi/internal/simserver"
 	"github.com/avfi/avfi/internal/transport"
-	"github.com/avfi/avfi/internal/world"
 )
 
 // PoolConfig shards a campaign across a pool of persistent engines.
 type PoolConfig struct {
 	// Engines is how many persistent engines (each its own simserver.Server,
 	// simclient.Client and connection) the campaign spreads episodes over
-	// with least-loaded dispatch. 0 or 1 runs the classic single engine.
+	// with least-loaded dispatch. 0 or 1 runs the classic single engine —
+	// except with Backends, where 0 sizes the pool to the backend count.
 	Engines int
 	// MaxRetries bounds how many times one episode is re-dispatched after a
 	// transient failure (server-side session abort, dead engine connection)
 	// before the whole campaign fails. 0 disables retry.
 	MaxRetries int
+	// Backends, when non-empty, lists remote simulator worker addresses
+	// (see simserver.Worker / avfi -serve): instead of spawning in-process
+	// pipe or loopback-TCP engines, the pool dials these addresses
+	// round-robin, one connection per engine slot. Health checks, bounded
+	// retry and dead-engine replacement carry over unchanged — a replacement
+	// engine dials the next backend in the rotation, so one dead worker
+	// degrades the campaign onto the survivors. Episode results travel over
+	// the wire (EpisodeResult), so the worker's world configuration is the
+	// only thing that must match the campaign's for bit-identical results.
+	Backends []string
+}
+
+// PoolSize resolves the number of engine slots this configuration runs
+// under the given worker parallelism (<= 0 means unbounded): Engines, or
+// one per backend when Engines is 0 with Backends set, capped at
+// parallelism (slots beyond the worker count would idle), floor 1. The
+// scheduler sizes its pool with this; cmd/avfi sizes its shard logs with
+// it too, so shard count can only exceed actual slots when the scheduler
+// additionally clamps parallelism to a small job batch — the surplus
+// shard logs just stay empty, which merge and resume tolerate.
+func (p PoolConfig) PoolSize(parallelism int) int {
+	n := p.Engines
+	if n == 0 && len(p.Backends) > 0 {
+		n = len(p.Backends)
+	}
+	if parallelism > 0 && n > parallelism {
+		n = parallelism
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // PoolStats describes the engine pool's work for one campaign run. The
@@ -39,36 +71,34 @@ type PoolStats struct {
 }
 
 // engine is one slot of a campaign's engine pool: a persistent simulation
-// backend — one multiplexed server, one session client, and exactly one
-// connection between them (plus one listener when running over TCP).
+// backend — a session client and exactly one connection to its server. For
+// in-process engines the server (and, over TCP, its listener) lives here
+// too; for remote backends (PoolConfig.Backends) the server is a
+// simserver.Worker in another process and only the dialed connection is
+// ours.
 type engine struct {
 	id         int
-	server     *simserver.Server
+	server     *simserver.Server // nil for remote backends
 	client     *simclient.Client
 	serverConn transport.Conn
 	listener   *transport.Listener
 	serveCh    chan error
 	transport  string
+	backend    string // remote worker address ("" for in-process)
 
 	// Pool bookkeeping; guarded by the owning pool's mutex.
 	inflight int
 	dead     bool
 }
 
-// startEngine wires one server and client over the configured transport and
-// starts serving sessions.
+// startEngine wires one engine slot: a dialed connection to the next remote
+// backend in round-robin rotation when PoolConfig.Backends is set, or an
+// in-process server/client pair over the configured transport otherwise.
 func (r *Runner) startEngine() (*engine, error) {
-	factory := func(open *proto.OpenEpisode) (*sim.Episode, error) {
-		return r.world.NewEpisode(sim.EpisodeConfig{
-			From: world.NodeID(open.From), To: world.NodeID(open.To),
-			Seed:           open.Seed,
-			Weather:        world.Weather(open.Weather),
-			NumNPCs:        int(open.NumNPCs),
-			NumPedestrians: int(open.NumPedestrians),
-			TimeoutSec:     open.TimeoutSec,
-			GoalRadius:     open.GoalRadius,
-		})
+	if len(r.cfg.Pool.Backends) > 0 {
+		return r.dialBackend()
 	}
+	factory := simserver.WorldFactory(r.world)
 	if r.cfg.testFactoryWrap != nil {
 		factory = r.cfg.testFactoryWrap(factory)
 	}
@@ -114,8 +144,55 @@ func (r *Runner) startEngine() (*engine, error) {
 	return eng, nil
 }
 
-// stats snapshots the engine's work so far.
+// backendDialTimeout bounds one backend connect. Replacement dials run
+// under the pool mutex (see replaceLocked), so a worker host that
+// blackholes packets must fail in seconds, not the OS connect timeout's
+// minutes — within this bound the pool stalls briefly, then degrades onto
+// the surviving backends.
+const backendDialTimeout = 3 * time.Second
+
+// dialBackend starts one remote engine slot: a connection to the next
+// worker address in round-robin rotation. The rotation advances on every
+// start — including replacements — so a dead worker's slot migrates onto a
+// surviving backend instead of redialing the corpse forever.
+func (r *Runner) dialBackend() (*engine, error) {
+	backends := r.cfg.Pool.Backends
+	addr := backends[int((r.backendSeq.Add(1)-1)%uint64(len(backends)))]
+	conn, err := transport.DialTimeout(addr, backendDialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: backend %s: %w", addr, err)
+	}
+	return &engine{
+		transport: "remote",
+		backend:   addr,
+		client:    simclient.NewClient(conn),
+	}, nil
+}
+
+// stashedResult consults the in-process server's result stash — the
+// fallback for sessions whose result didn't ride the wire. Remote backends
+// have no reachable stash; their episodes must use wire results.
+func (e *engine) stashedResult(sid uint32) (sim.Result, bool) {
+	if e.server == nil {
+		return sim.Result{}, false
+	}
+	return e.server.Result(sid)
+}
+
+// stats snapshots the engine's work so far. Remote backends have no
+// in-process server to ask, so their counters come from the client side of
+// the connection (same events, observed at the near end).
 func (e *engine) stats() EngineStats {
+	if e.server == nil {
+		return EngineStats{
+			Engine:                e.id,
+			Transport:             e.transport,
+			Backend:               e.backend,
+			Episodes:              e.client.CompletedSessions(),
+			MaxConcurrentSessions: e.client.MaxConcurrent(),
+			FailedSessions:        e.client.FailedSessions(),
+		}
+	}
 	return EngineStats{
 		Engine:                e.id,
 		Transport:             e.transport,
@@ -126,9 +203,14 @@ func (e *engine) stats() EngineStats {
 }
 
 // close tears the engine down: closing the client's connection is the
-// shutdown signal the server drains on.
+// shutdown signal the server drains on. A remote engine owns only its side
+// of the connection — the worker notices the hang-up and retires the
+// server it spun up for us.
 func (e *engine) close() error {
 	e.client.Close()
+	if e.server == nil {
+		return nil
+	}
 	err := <-e.serveCh
 	e.serverConn.Close()
 	if e.listener != nil {
@@ -138,9 +220,10 @@ func (e *engine) close() error {
 }
 
 // healthy reports whether the engine's backend is still serving: not
-// condemned, client demux loop alive, server Serve loop still running.
+// condemned, client demux loop alive, and (in-process only) the server's
+// Serve loop still running.
 func (e *engine) healthy() bool {
-	return !e.dead && e.client.Err() == nil && !e.server.Done()
+	return !e.dead && e.client.Err() == nil && (e.server == nil || !e.server.Done())
 }
 
 // backendErr reports why a dead engine's backend stopped, whichever side
@@ -149,8 +232,10 @@ func (e *engine) backendErr() error {
 	if err := e.client.Err(); err != nil {
 		return err
 	}
-	if err := e.server.Err(); err != nil {
-		return err
+	if e.server != nil {
+		if err := e.server.Err(); err != nil {
+			return err
+		}
 	}
 	return fmt.Errorf("connection lost")
 }
@@ -248,9 +333,10 @@ func (p *enginePool) noteRetry() {
 // replaceLocked swaps slot i's dead engine for a fresh backend. The dead
 // engine stays in its slot if the budget is exhausted or the replacement
 // fails to start; acquire then skips it. Requires p.mu — engine startup is
-// a pipe allocation or one loopback dial, microseconds against the seconds
-// an episode runs, and backend death is exceptional, so blocking the pool
-// briefly beats unlock/relock juggling.
+// a pipe allocation, one loopback dial, or a remote dial bounded by
+// backendDialTimeout, all short against the seconds an episode runs, and
+// backend death is exceptional, so blocking the pool briefly beats
+// unlock/relock juggling.
 func (p *enginePool) replaceLocked(i int) (*engine, error) {
 	old := p.engines[i]
 	old.dead = true

@@ -216,6 +216,30 @@ func TestRunContextExternalCancel(t *testing.T) {
 	}
 }
 
+// TestPoolSize pins the one sizing rule the scheduler and cmd/avfi's
+// shard-log count share.
+func TestPoolSize(t *testing.T) {
+	backends := []string{"a:1", "b:1", "c:1"}
+	cases := []struct {
+		name        string
+		pool        PoolConfig
+		parallelism int
+		want        int
+	}{
+		{"zero value is one engine", PoolConfig{}, 8, 1},
+		{"explicit engines", PoolConfig{Engines: 4}, 8, 4},
+		{"auto-sizes to backends", PoolConfig{Backends: backends}, 8, 3},
+		{"explicit engines beat backends", PoolConfig{Engines: 2, Backends: backends}, 8, 2},
+		{"capped by parallelism", PoolConfig{Backends: backends}, 2, 2},
+		{"unbounded parallelism", PoolConfig{Engines: 6}, 0, 6},
+	}
+	for _, tc := range cases {
+		if got := tc.pool.PoolSize(tc.parallelism); got != tc.want {
+			t.Errorf("%s: PoolSize(%d) = %d, want %d", tc.name, tc.parallelism, got, tc.want)
+		}
+	}
+}
+
 // TestEnginePoolReplacesDeadEngine drives the pool directly: a backend
 // whose connection dies is retired and a fresh engine takes its slot,
 // until the bounded replacement budget runs out.
@@ -286,37 +310,49 @@ func TestEnginePoolReplacesDeadEngine(t *testing.T) {
 }
 
 // BenchmarkCampaignPool measures episode throughput of the same campaign
-// sharded over 1, 2 and 4 engines. Reported as episodes/sec; the pool's
-// win is demultiplexing the per-connection serialization, so it grows with
-// worker count on multi-core runners.
+// sharded over 1, 2 and 4 engines — in-process, and against
+// loopback-remote simulator workers (the -backends deployment shape, so
+// the wire cost of going distributed is on the same chart). Reported as
+// episodes/sec; the pool's win is demultiplexing the per-connection
+// serialization, so it grows with worker count on multi-core runners. CI's
+// bench-pool job renders this benchmark into BENCH_pool.json.
 func BenchmarkCampaignPool(b *testing.B) {
-	for _, engines := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("engines-%d", engines), func(b *testing.B) {
-			cfg := tinyConfig(b, []InjectorSource{
-				Registry(fault.NoopName),
-				Registry("gaussian"),
-			})
-			cfg.Missions = 4
-			cfg.Repetitions = 2
-			cfg.Parallelism = 8
-			cfg.Pool = PoolConfig{Engines: engines}
-			cfg.DiscardRecords = true
-			r, err := NewRunner(cfg)
-			if err != nil {
+	bench := func(b *testing.B, pool PoolConfig) {
+		cfg := tinyConfig(b, []InjectorSource{
+			Registry(fault.NoopName),
+			Registry("gaussian"),
+		})
+		cfg.Missions = 4
+		cfg.Repetitions = 2
+		cfg.Parallelism = 8
+		cfg.Pool = pool
+		cfg.DiscardRecords = true
+		r, err := NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		episodes := len(r.jobs())
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Run(); err != nil {
 				b.Fatal(err)
 			}
-			episodes := len(r.jobs())
-			b.ResetTimer()
-			start := time.Now()
-			for i := 0; i < b.N; i++ {
-				if _, err := r.Run(); err != nil {
-					b.Fatal(err)
-				}
-			}
-			elapsed := time.Since(start).Seconds()
-			if elapsed > 0 {
-				b.ReportMetric(float64(episodes*b.N)/elapsed, "episodes/sec")
-			}
+		}
+		elapsed := time.Since(start).Seconds()
+		if elapsed > 0 {
+			b.ReportMetric(float64(episodes*b.N)/elapsed, "episodes/sec")
+		}
+	}
+	for _, engines := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("inproc-%d", engines), func(b *testing.B) {
+			bench(b, PoolConfig{Engines: engines})
+		})
+	}
+	for _, engines := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("remote-%d", engines), func(b *testing.B) {
+			addrs, _ := startTestWorkers(b, engines)
+			bench(b, PoolConfig{Backends: addrs})
 		})
 	}
 }

@@ -115,12 +115,7 @@ func (r *Runner) newRunSession(maxBatch int) (*runSession, error) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	engines := r.cfg.Pool.Engines
-	if engines > parallelism {
-		// Engines beyond the worker count would never be dispatched to.
-		engines = parallelism
-	}
-	pool, err := newEnginePool(r.startEngine, engines)
+	pool, err := newEnginePool(r.startEngine, r.cfg.Pool.PoolSize(parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +214,7 @@ func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
 	defer cancel(nil)
 	// A broken sink cancels dispatch: finishing thousands of episodes whose
 	// streamed records are being dropped would be pure waste.
-	pipe := newSinkPipeline(r.cells, r.cfg.Sink, !r.cfg.DiscardRecords, sess.parallelism,
+	pipe := newSinkPipeline(r.cells, r.sinkLanes(), !r.cfg.DiscardRecords, sess.parallelism,
 		func(err error) { cancel(err) }, r.cfg.Progress, r.cfg.ProgressV2, resumed)
 	sess.runJobs(ctx, cancel, jobs, pipe.consume)
 

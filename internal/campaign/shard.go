@@ -1,0 +1,83 @@
+// Sharded record logs: a campaign with Config.ShardSinks streams each
+// aggregation shard to its own JSONL file (cmd/avfi names them
+// records-<shard>.jsonl inside the -stream-records directory, one shard
+// per engine slot). Records sort into a total, schedule-independent order,
+// so the shards are a partition of the canonical log: MergeRecordsJSONL
+// over any sharding — including the degenerate single log — produces the
+// same byte stream, and LoadRecordsDir feeds a whole shard directory into
+// Config.Resume exactly like one log file.
+
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/avfi/avfi/internal/metrics"
+)
+
+// ShardLogName names shard i's JSONL record log inside a shard directory.
+func ShardLogName(i int) string { return fmt.Sprintf("records-%d.jsonl", i) }
+
+// shardLogPattern globs every shard log in a directory.
+const shardLogPattern = "records-*.jsonl"
+
+// LoadRecordsDir reads every shard log (records-*.jsonl) in dir and returns
+// the union of their records in the canonical campaign order. Each shard
+// tolerates a truncated final line (the signature of a crash mid-write),
+// exactly like LoadRecordsJSONL on a single log. A directory with no shard
+// logs returns no records — indistinguishable from an empty log, so a
+// first run against a fresh directory resumes from nothing.
+func LoadRecordsDir(dir string) ([]metrics.EpisodeRecord, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, shardLogPattern))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	sort.Strings(paths)
+	var recs []metrics.EpisodeRecord
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resume: %w", err)
+		}
+		shard, err := LoadRecordsJSONL(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resume: %s: %w", filepath.Base(path), err)
+		}
+		recs = append(recs, shard...)
+	}
+	sortRecords(recs)
+	return recs, nil
+}
+
+// MergeRecordsJSONL reads episode records from every source log — shard
+// logs, single logs, or any mix — and writes the canonical record stream
+// to w: the union of all complete records, sorted into the campaign's
+// deterministic (cell, mission, repetition) order, one JSON object per
+// line. Truncated final lines are tolerated per source. Because the order
+// is total over a campaign's episodes, merging a sharded run's logs and
+// merging an equivalent single-sink run's log produce byte-identical
+// output. It returns the number of records written.
+func MergeRecordsJSONL(w io.Writer, sources ...io.Reader) (int, error) {
+	var recs []metrics.EpisodeRecord
+	for i, src := range sources {
+		part, err := LoadRecordsJSONL(src)
+		if err != nil {
+			return 0, fmt.Errorf("campaign: merge: source %d: %w", i, err)
+		}
+		recs = append(recs, part...)
+	}
+	sortRecords(recs)
+	enc := json.NewEncoder(w)
+	for i, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return i, fmt.Errorf("campaign: merge: %w", err)
+		}
+	}
+	return len(recs), nil
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/avfi/avfi/internal/metrics"
@@ -49,80 +50,141 @@ func (s *jsonlSink) Consume(rec metrics.EpisodeRecord) error { return s.enc.Enco
 func (s *jsonlSink) Close() error { return s.bw.Flush() }
 
 // sinkPipeline is the campaign's streaming results path: workers push
-// finished episodes into a channel and one aggregation goroutine folds each
-// record into its cell's metrics.ReportBuilder, forwards it to the optional
-// RecordSink, and (unless records are discarded) retains it for the
-// ResultSet. Aggregation is incremental: with DiscardRecords the pipeline
-// keeps only a fixed-size per-episode digest (exact quantiles need that
-// much) instead of full records, and the durable episode log streams
-// through the sink at O(1) memory.
+// finished episodes to aggregation shards, each of which folds its records
+// into their cells' metrics.ReportBuilders, forwards them to its own
+// optional RecordSink, and (unless records are discarded) retains them for
+// the ResultSet. Aggregation is incremental: with DiscardRecords the
+// pipeline keeps only a fixed-size per-episode digest (exact quantiles
+// need that much) instead of full records, and the durable episode log
+// streams through the sinks at O(1) memory.
+//
+// The classic shape is one shard — one goroutine, one sink, the single
+// JSONL log. Sharded campaigns (Config.ShardSinks) run one shard per sink:
+// scenario cells are routed to shards round-robin in cell order, so each
+// cell's builder has exactly one writer and each shard streams a disjoint
+// slice of the campaign to its own log. Because records sort into a total
+// schedule-independent order, MergeRecordsJSONL over the shard logs
+// reproduces the single log byte-for-byte.
 type sinkPipeline struct {
-	ch   chan metrics.EpisodeRecord
-	done chan struct{}
+	shards []*sinkShard
+	route  map[string]*sinkShard // cell key -> owning shard; read-only
 
-	cells      []runCell
-	builders   map[string]*metrics.ReportBuilder
-	keep       bool
-	records    []metrics.EpisodeRecord
-	sink       RecordSink
-	broken     bool // sink failed; stop writing, keep draining
+	cells    []runCell
+	builders map[string]*metrics.ReportBuilder // each written by one shard
+	keep     bool
+	seeded   []metrics.EpisodeRecord // resumed records retained for finish
+
+	mu         sync.Mutex
 	err        error
 	onErr      func(error) // called once, on the first sink failure
 	progress   func(cell string, episodes int, meanVPK, stdVPK float64)
 	progressV2 func(CellProgress)
 }
 
-// newSinkPipeline starts the aggregation goroutine. keep retains records
-// for ResultSet.Records; buffer sizes the hand-off channel; onErr (may be
+// sinkShard is one aggregation lane: a hand-off channel, the goroutine
+// draining it, and the lane's RecordSink (may be nil).
+type sinkShard struct {
+	p       *sinkPipeline
+	ch      chan metrics.EpisodeRecord
+	done    chan struct{}
+	sink    RecordSink
+	broken  bool // sink failed; stop writing, keep draining
+	records []metrics.EpisodeRecord
+}
+
+// newSinkPipeline starts one aggregation goroutine per sink (a single
+// sink-less shard when sinks is empty). keep retains records for
+// ResultSet.Records; buffer sizes each hand-off channel; onErr (may be
 // nil) is notified of the first sink failure so the caller can stop
 // dispatching episodes whose streamed records would be lost; progress and
 // progressV2 (either may be nil) see each cell's running aggregate as
-// episodes land. seed pre-folds records resumed from a prior partial run:
-// they count in reports and retention but are not re-sent to the sink and
-// fire no progress hooks (they are not this run's work).
-func newSinkPipeline(cells []runCell, sink RecordSink, keep bool, buffer int,
+// episodes land — from the cell's owning shard goroutine, so updates for
+// one cell are ordered but different cells may report concurrently. seed
+// pre-folds records resumed from a prior partial run: they count in
+// reports and retention but are not re-sent to any sink and fire no
+// progress hooks (they are not this run's work).
+func newSinkPipeline(cells []runCell, sinks []RecordSink, keep bool, buffer int,
 	onErr func(error), progress func(string, int, float64, float64),
 	progressV2 func(CellProgress), seed []metrics.EpisodeRecord) *sinkPipeline {
 	p := &sinkPipeline{
-		ch:         make(chan metrics.EpisodeRecord, buffer),
-		done:       make(chan struct{}),
 		cells:      cells,
 		builders:   make(map[string]*metrics.ReportBuilder, len(cells)),
+		route:      make(map[string]*sinkShard, len(cells)),
 		keep:       keep,
-		sink:       sink,
 		onErr:      onErr,
 		progress:   progress,
 		progressV2: progressV2,
 	}
+	if len(sinks) == 0 {
+		sinks = []RecordSink{nil}
+	}
+	for _, sink := range sinks {
+		p.shards = append(p.shards, &sinkShard{
+			p:    p,
+			ch:   make(chan metrics.EpisodeRecord, buffer),
+			done: make(chan struct{}),
+			sink: sink,
+		})
+	}
+	// Cells route to shards round-robin in cell order: deterministic, and
+	// balanced whenever cells outnumber shards.
 	for _, c := range cells {
 		if _, ok := p.builders[c.key]; !ok {
 			p.builders[c.key] = metrics.NewReportBuilder(c.key)
+			p.route[c.key] = p.shards[len(p.route)%len(p.shards)]
 		}
 	}
-	// Seeding happens before the aggregation goroutine starts: builders and
-	// records are still exclusively ours.
+	// Seeding happens before the shard goroutines start: builders and
+	// retention are still exclusively ours.
 	for _, rec := range seed {
 		if b, ok := p.builders[rec.Injector]; ok {
 			b.Add(rec)
 		}
 		if keep {
-			p.records = append(p.records, rec)
+			p.seeded = append(p.seeded, rec)
 		}
 	}
-	go p.loop()
+	for _, sh := range p.shards {
+		go sh.loop()
+	}
 	return p
 }
 
-// loop drains the record channel until it closes, then closes the sink —
-// the aggregation goroutine owns the sink end to end, so the durable log's
-// tail is flushed on the finish and abandon paths alike. It never blocks
-// the campaign on a failed sink: the first Consume error is recorded,
-// onErr is told (so the scheduler stops dispatching instead of burning
-// episodes whose streamed records would be lost), and in-flight records
-// keep draining.
-func (p *sinkPipeline) loop() {
-	defer close(p.done)
-	for rec := range p.ch {
+// shardFor routes a record to its cell's owning shard. Records for keys
+// outside the campaign's cells (impossible for runner-produced records)
+// fall through to shard 0 so retention and the durable log never drop one.
+func (p *sinkPipeline) shardFor(key string) *sinkShard {
+	if sh, ok := p.route[key]; ok {
+		return sh
+	}
+	return p.shards[0]
+}
+
+// fail records the pipeline's first sink error and notifies onErr once.
+func (p *sinkPipeline) fail(err error) {
+	p.mu.Lock()
+	first := p.err == nil
+	if first {
+		p.err = err
+	}
+	onErr := p.onErr
+	p.mu.Unlock()
+	if first && onErr != nil {
+		onErr(err)
+	}
+}
+
+// loop drains the shard's channel until it closes, then closes the shard's
+// sink — each shard goroutine owns its sink end to end, so the durable
+// log's tail is flushed on the finish and abandon paths alike. It never
+// blocks the campaign on a failed sink: the first Consume error anywhere
+// is recorded, onErr is told (so the scheduler stops dispatching instead
+// of burning episodes whose streamed records would be lost), and in-flight
+// records keep draining.
+func (sh *sinkShard) loop() {
+	defer close(sh.done)
+	p := sh.p
+	for rec := range sh.ch {
 		if b, ok := p.builders[rec.Injector]; ok {
 			b.Add(rec)
 			if p.progress != nil {
@@ -143,63 +205,75 @@ func (p *sinkPipeline) loop() {
 			}
 		}
 		if p.keep {
-			p.records = append(p.records, rec)
+			sh.records = append(sh.records, rec)
 		}
-		if p.sink != nil && !p.broken {
-			if err := p.sink.Consume(rec); err != nil {
-				p.err = fmt.Errorf("campaign: record sink: %w", err)
-				p.broken = true
-				if p.onErr != nil {
-					p.onErr(p.err)
-				}
+		if sh.sink != nil && !sh.broken {
+			if err := sh.sink.Consume(rec); err != nil {
+				sh.broken = true
+				p.fail(fmt.Errorf("campaign: record sink: %w", err))
 			}
 		}
 	}
-	if p.sink != nil {
-		if err := p.sink.Close(); err != nil && p.err == nil {
-			p.err = fmt.Errorf("campaign: record sink: %w", err)
+	if sh.sink != nil {
+		if err := sh.sink.Close(); err != nil {
+			p.fail(fmt.Errorf("campaign: record sink: %w", err))
 		}
 	}
 }
 
-// consume hands one finished episode to the aggregation goroutine. The
+// consume hands one finished episode to its cell's aggregation shard. The
 // hand-off aborts when ctx is cancelled, so a sink that blocks (rather
 // than errors) can never wedge the campaign beyond the caller's ability to
 // cancel it.
 func (p *sinkPipeline) consume(ctx context.Context, rec metrics.EpisodeRecord) {
 	select {
-	case p.ch <- rec:
+	case p.shardFor(rec.Injector).ch <- rec:
 	case <-ctx.Done():
 	}
 }
 
 // abandon releases the pipeline without collecting results, giving the
-// aggregation goroutine a bounded grace period to drain and close the sink
-// (flushing the durable log's tail for the episodes that did finish). A
+// shard goroutines a bounded grace period to drain and close their sinks
+// (flushing the durable logs' tails for the episodes that did finish). A
 // sink wedged inside a blocking Consume exhausts the grace period and is
 // left behind rather than allowed to hang the aborting campaign.
 func (p *sinkPipeline) abandon() {
-	close(p.ch)
-	select {
-	case <-p.done:
-	case <-time.After(5 * time.Second):
+	for _, sh := range p.shards {
+		close(sh.ch)
+	}
+	deadline := time.After(5 * time.Second)
+	for _, sh := range p.shards {
+		select {
+		case <-sh.done:
+		case <-deadline:
+			return
+		}
 	}
 }
 
 // finish closes the pipeline and returns the retained records in the
 // deterministic campaign order (nil when discarded), the per-cell reports
-// in configured cell order, and the first sink error (the aggregation
-// goroutine has already closed the sink by the time done is signalled).
+// in configured cell order, and the first sink error (every shard has
+// closed its sink by the time its done channel is signalled).
 func (p *sinkPipeline) finish() ([]metrics.EpisodeRecord, []metrics.Report, error) {
-	close(p.ch)
-	<-p.done
-	// Deterministic order regardless of scheduling.
-	sortRecords(p.records)
+	for _, sh := range p.shards {
+		close(sh.ch)
+	}
+	records := p.seeded
+	for _, sh := range p.shards {
+		<-sh.done
+		records = append(records, sh.records...)
+	}
+	// Deterministic order regardless of scheduling and sharding.
+	sortRecords(records)
 	var reports []metrics.Report
 	for _, c := range p.cells {
 		reports = append(reports, p.builders[c.key].Build())
 	}
-	return p.records, reports, p.err
+	p.mu.Lock()
+	err := p.err
+	p.mu.Unlock()
+	return records, reports, err
 }
 
 // sortRecords puts records into the campaign's deterministic,

@@ -46,10 +46,13 @@ type session struct {
 type Client struct {
 	conn transport.Conn
 
-	mu       sync.Mutex
-	next     uint32
-	sessions map[uint32]*session
-	err      error
+	mu        sync.Mutex
+	next      uint32
+	sessions  map[uint32]*session
+	err       error
+	completed int
+	failed    int
+	maxOpen   int
 
 	done chan struct{}
 }
@@ -131,6 +134,46 @@ func (c *Client) InFlight() int {
 	return len(c.sessions)
 }
 
+// CompletedSessions reports how many episodes ran to a clean EpisodeEnd on
+// this client — the client-side mirror of simserver.Server's counter, which
+// is what engine statistics use when the server is on the far side of a
+// network (remote backends).
+func (c *Client) CompletedSessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed
+}
+
+// FailedSessions reports how many sessions ended in a server-side abort
+// (SessionError) or a demux overflow drop.
+func (c *Client) FailedSessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// MaxConcurrent reports the high-water mark of sessions simultaneously open
+// on the connection.
+func (c *Client) MaxConcurrent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxOpen
+}
+
+// noteCompleted counts one cleanly finished episode.
+func (c *Client) noteCompleted() {
+	c.mu.Lock()
+	c.completed++
+	c.mu.Unlock()
+}
+
+// noteFailed counts one session aborted by the server or the demux guard.
+func (c *Client) noteFailed() {
+	c.mu.Lock()
+	c.failed++
+	c.mu.Unlock()
+}
+
 // register allocates a session ID and its demux entry.
 func (c *Client) register() (uint32, *session) {
 	c.mu.Lock()
@@ -145,6 +188,9 @@ func (c *Client) register() (uint32, *session) {
 		fail: make(chan error, 1),
 	}
 	c.sessions[sid] = s
+	if len(c.sessions) > c.maxOpen {
+		c.maxOpen = len(c.sessions)
+	}
 	return sid, s
 }
 
@@ -192,6 +238,7 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 		select {
 		case inner = <-s.data:
 		case err := <-s.fail:
+			c.noteFailed()
 			return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 		case <-c.done:
 			// Drain a message that raced the shutdown.
@@ -212,6 +259,7 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 			if err != nil {
 				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 			}
+			c.noteFailed()
 			return sid, nil, nil, &SessionError{SID: sid, Reason: se.Reason}
 		case err == nil && kind == proto.KindEpisodeResult:
 			result, err = proto.DecodeEpisodeResult(inner)
@@ -225,6 +273,7 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 			return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 		}
 		if end != nil {
+			c.noteCompleted()
 			return sid, result, end, nil
 		}
 		if reply != nil {

@@ -1,0 +1,210 @@
+package simserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/transport"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// WorldFactory is the canonical OpenEpisode -> sim.Episode mapping: every
+// scenario parameter an episode needs rides the wire, so a factory built
+// from the same world configuration produces bit-identical episodes whether
+// the server runs in the campaign's process or on a remote worker.
+func WorldFactory(w *sim.World) EpisodeFactory {
+	return func(open *proto.OpenEpisode) (*sim.Episode, error) {
+		return w.NewEpisode(sim.EpisodeConfig{
+			From: world.NodeID(open.From), To: world.NodeID(open.To),
+			Seed:           open.Seed,
+			Weather:        world.Weather(open.Weather),
+			NumNPCs:        int(open.NumNPCs),
+			NumPedestrians: int(open.NumPedestrians),
+			TimeoutSec:     open.TimeoutSec,
+			GoalRadius:     open.GoalRadius,
+		})
+	}
+}
+
+// Worker is a standalone simulation backend: it accepts campaign
+// connections on one TCP listener for its whole lifetime and serves each
+// connection with a fresh session-multiplexed Server over the shared
+// episode factory. This is the far side of campaign.PoolConfig.Backends —
+// a campaign dials N workers instead of spawning in-process engines, and
+// many campaigns (sequential or concurrent) may share one worker.
+type Worker struct {
+	factory EpisodeFactory
+
+	mu       sync.Mutex
+	listener *transport.Listener
+	conns    map[transport.Conn]struct{}
+	served   int
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewWorker builds an idle worker around an episode factory (see
+// WorldFactory for the canonical one).
+func NewWorker(factory EpisodeFactory) *Worker {
+	return &Worker{factory: factory, conns: make(map[transport.Conn]struct{})}
+}
+
+// Listen binds the worker's listener and returns the bound address (useful
+// with ":0"). It does not accept yet; call Serve.
+func (w *Worker) Listen(addr string) (string, error) {
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return "", fmt.Errorf("simserver: worker: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		l.Close()
+		return "", fmt.Errorf("simserver: worker already closed")
+	}
+	if w.listener != nil {
+		l.Close()
+		return "", fmt.Errorf("simserver: worker already listening on %s", w.listener.Addr())
+	}
+	w.listener = l
+	return l.Addr(), nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (w *Worker) Addr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.listener == nil {
+		return ""
+	}
+	return w.listener.Addr()
+}
+
+// Accept-failure bounds: transient errors (fd exhaustion under many
+// campaigns, a refused handshake) must not kill a long-lived worker, so
+// Serve retries them after a short pause; a run of consecutive failures
+// means the listener is genuinely broken and Serve gives up.
+const (
+	maxConsecutiveAcceptFailures = 10
+	acceptRetryDelay             = 100 * time.Millisecond
+)
+
+// Serve accepts campaign connections until Close, giving each its own
+// Server (session IDs are per-connection, so concurrent campaigns cannot
+// collide). Transient accept errors are retried (bounded, paused); after
+// Close, Serve returns nil once every in-flight connection's sessions have
+// drained. A persistent accept failure is returned immediately — without
+// waiting behind live connections, which their goroutines keep serving
+// until Close tears them down.
+func (w *Worker) Serve() error {
+	w.mu.Lock()
+	l := w.listener
+	w.mu.Unlock()
+	if l == nil {
+		return fmt.Errorf("simserver: worker: Serve before Listen")
+	}
+	failures := 0
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if w.isClosed() {
+				w.wg.Wait()
+				return nil
+			}
+			if errors.Is(err, net.ErrClosed) {
+				// The listener is gone without Close: nothing to retry.
+				return fmt.Errorf("simserver: worker: %w", err)
+			}
+			failures++
+			if failures >= maxConsecutiveAcceptFailures {
+				return fmt.Errorf("simserver: worker: %d consecutive accept failures: %w", failures, err)
+			}
+			time.Sleep(acceptRetryDelay)
+			continue
+		}
+		failures = 0
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			w.wg.Wait()
+			return nil
+		}
+		w.conns[conn] = struct{}{}
+		w.served++
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func(conn transport.Conn) {
+			defer w.wg.Done()
+			srv := NewServer(w.factory)
+			_ = srv.Serve(conn)
+			conn.Close()
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+		}(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (w *Worker) ListenAndServe(addr string) error {
+	if _, err := w.Listen(addr); err != nil {
+		return err
+	}
+	return w.Serve()
+}
+
+// Close stops the worker: the listener closes and every active connection
+// is torn down, so in-flight sessions on the other side fail immediately —
+// the kill switch chaos tests lean on, and the prompt path for a
+// signal-driven shutdown. Safe to call more than once, and before Listen.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	l := w.listener
+	conns := make([]transport.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// ConnsServed reports how many campaign connections the worker has accepted
+// over its lifetime.
+func (w *Worker) ConnsServed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.served
+}
+
+// ActiveConns reports how many campaign connections are being served now.
+func (w *Worker) ActiveConns() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.conns)
+}
+
+// isClosed reports whether Close ran.
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}

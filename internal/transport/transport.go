@@ -15,6 +15,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrame bounds one framed message (must cover an encoded camera frame).
@@ -122,6 +123,17 @@ func NewTCPConn(c net.Conn) Conn { return &tcpConn{conn: c} }
 // Dial connects to a listening server.
 func Dial(addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(c), nil
+}
+
+// DialTimeout is Dial with a bounded connect: a host that blackholes
+// packets (down, firewalled — no RST) fails after timeout instead of the
+// OS connect timeout, which can run minutes.
+func DialTimeout(addr string, timeout time.Duration) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
