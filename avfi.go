@@ -149,6 +149,16 @@ type (
 	// RecordSink consumes episode records as they complete — the streaming
 	// results path for campaigns too large to retain in memory.
 	RecordSink = campaign.RecordSink
+	// RecordSource streams episode records one at a time (io.EOF ends the
+	// stream) — the O(1)-memory resume path (CampaignConfig.ResumeFrom).
+	RecordSource = campaign.RecordSource
+	// RecordStream is a RecordSource over a log file or shard directory;
+	// the caller must Close it (see OpenRecordsPath).
+	RecordStream = campaign.RecordStream
+	// RecordFormat selects the on-disk record log encoding: FormatJSONL
+	// (text interchange) or FormatBinary (hot-path frames), with
+	// FormatAuto detecting per file on read.
+	RecordFormat = campaign.RecordFormat
 	// CellProgress is one cell's running aggregate (VPK stats plus
 	// violation tallies), delivered to CampaignConfig.ProgressV2.
 	CellProgress = campaign.CellProgress
@@ -185,6 +195,8 @@ type (
 	Report = metrics.Report
 	// EpisodeRecord is one mission's outcome.
 	EpisodeRecord = metrics.EpisodeRecord
+	// ViolationRecord is one safety violation within an episode.
+	ViolationRecord = metrics.ViolationRecord
 	// Comparison is a bootstrap-backed baseline-vs-treatment contrast.
 	Comparison = metrics.Comparison
 	// ReportBuilder aggregates one scenario column incrementally; its Build
@@ -353,6 +365,36 @@ func WriteJSON(w io.Writer, rs *ResultSet) error { return campaign.WriteJSON(w, 
 // sweeps. The caller keeps ownership of w.
 func NewJSONLSink(w io.Writer) RecordSink { return campaign.NewJSONLSink(w) }
 
+// NewBinarySink returns a RecordSink streaming one compact binary frame
+// per episode to w — the hot-path counterpart of NewJSONLSink (several
+// times cheaper to encode and decode, and auto-detected by every record
+// reader). JSONL remains the interchange form; convert losslessly with
+// avfi-records or MergeRecords. The caller keeps ownership of w.
+func NewBinarySink(w io.Writer) RecordSink { return campaign.NewBinarySink(w) }
+
+// Record log formats (see RecordFormat).
+const (
+	// FormatAuto detects per file on read; writers treat it as binary.
+	FormatAuto = campaign.FormatAuto
+	// FormatJSONL is the text interchange encoding.
+	FormatJSONL = campaign.FormatJSONL
+	// FormatBinary is the compact hot-path encoding.
+	FormatBinary = campaign.FormatBinary
+)
+
+// ParseRecordFormat parses a record-format flag value: "auto", "jsonl",
+// or "binary".
+func ParseRecordFormat(s string) (RecordFormat, error) {
+	return campaign.ParseRecordFormat(s)
+}
+
+// SniffRecordFormat reports a record log's format from its leading bytes:
+// FormatBinary on the frame magic, FormatAuto on an empty prefix,
+// FormatJSONL otherwise.
+func SniffRecordFormat(prefix []byte) RecordFormat {
+	return campaign.SniffRecordFormat(prefix)
+}
+
 // NewSimWorker builds a standalone simulator worker serving w's episodes
 // to remote campaigns: Listen/Serve accept campaign connections for the
 // worker's whole lifetime (avfi -serve is this, as a process). A campaign
@@ -367,19 +409,58 @@ func NewSimWorker(w *World) *SimWorker {
 // -stream-records directory ("records-<i>.jsonl").
 func ShardLogName(i int) string { return campaign.ShardLogName(i) }
 
-// LoadRecordsDir reads every shard log (records-*.jsonl) in a sharded
-// record directory, in the canonical campaign order — the directory
-// counterpart of LoadRecordsJSONL for CampaignConfig.Resume.
+// BinaryShardLogName names shard i's binary record log inside a sharded
+// -stream-records directory ("records-<i>.bin").
+func BinaryShardLogName(i int) string { return campaign.BinaryShardLogName(i) }
+
+// LoadRecordsDir reads every shard log (records-*.jsonl and
+// records-*.bin, format auto-detected per file) in a sharded record
+// directory, in the canonical campaign order — the directory counterpart
+// of LoadRecordsJSONL for CampaignConfig.Resume.
 func LoadRecordsDir(dir string) ([]EpisodeRecord, error) {
 	return campaign.LoadRecordsDir(dir)
 }
 
 // MergeRecordsJSONL merges any set of episode logs — shard logs, single
-// logs, or a mix — into the canonical sorted JSONL record stream on w,
-// returning the record count. Sharded and single-sink runs of the same
-// campaign merge to byte-identical output.
+// logs, or a mix, in either record format — into the canonical sorted
+// JSONL record stream on w, returning the record count. Sharded and
+// single-sink runs of the same campaign merge to byte-identical output.
 func MergeRecordsJSONL(w io.Writer, sources ...io.Reader) (int, error) {
 	return campaign.MergeRecordsJSONL(w, sources...)
+}
+
+// MergeRecords merges any set of episode logs (formats auto-detected per
+// source) into the canonical sorted record stream on w in the chosen
+// output format — the format-general MergeRecordsJSONL, and the engine of
+// the avfi-records converter. Merging streams one sorted run per source;
+// memory is O(records) per source, never a combined copy.
+func MergeRecords(w io.Writer, format RecordFormat, sources ...io.Reader) (int, error) {
+	return campaign.MergeRecords(w, format, sources...)
+}
+
+// OpenRecordsPath opens an episode record log for streaming: a file
+// streams its records, a directory streams every shard log it holds, one
+// file descriptor and one record of memory at a time. Format is
+// auto-detected per file. Set the stream as CampaignConfig.ResumeFrom to
+// resume a campaign of any size in O(1) memory, and Close it after the
+// run.
+func OpenRecordsPath(path string) (*RecordStream, error) {
+	return campaign.OpenRecordsPath(path)
+}
+
+// LoadRecords reads every record from one log in either format — the
+// auto-detecting counterpart of LoadRecordsJSONL, with the same
+// truncated-tail tolerance.
+func LoadRecords(r io.Reader) ([]EpisodeRecord, error) {
+	return campaign.LoadRecords(r)
+}
+
+// CompleteBinaryPrefixLen returns the byte length of the longest prefix
+// of a binary record log holding only complete frames — what to truncate
+// to before appending to a log that may end in a crash-truncated frame
+// (the binary counterpart of clamping JSONL to its last newline).
+func CompleteBinaryPrefixLen(r io.Reader) (int64, error) {
+	return campaign.CompleteBinaryPrefixLen(r)
 }
 
 // LoadRecordsJSONL reads the episode records of a JSONL record sink — the

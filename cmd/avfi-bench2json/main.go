@@ -5,18 +5,29 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkCampaignPool -benchtime=1x ./internal/campaign/ | avfi-bench2json > BENCH_pool.json
+//	avfi-bench2json -baseline BENCH_pool_baseline.json < bench_pool.txt > BENCH_pool.json
 //
 // Non-benchmark lines (goos/goarch headers, PASS, ok) are ignored. Each
 // benchmark line becomes one entry with its iteration count and every
 // reported metric (ns/op, episodes/sec, B/op, ...) keyed by unit.
+//
+// With -baseline, the run also acts as a perf regression gate: every
+// baseline benchmark whose name matches -match must appear in the current
+// run with an episodes/sec figure no more than -max-regress percent below
+// the baseline's, or the command exits nonzero (after writing the JSON,
+// so the artifact survives for diagnosis). GOMAXPROCS name suffixes are
+// normalized away, so a baseline recorded on one core count compares
+// against runners with another.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -34,20 +45,123 @@ type BenchResult struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "avfi-bench2json: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer) error {
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("avfi-bench2json", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "",
+		"committed BenchResult JSON to gate against; absent = no perf gate")
+	maxRegress := fs.Float64("max-regress", 20,
+		"max tolerated episodes/sec drop below -baseline, in percent")
+	match := fs.String("match", "^BenchmarkCampaignPool/remote",
+		"regexp selecting the baseline-gated benchmark names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	results, err := parseBench(in)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	if *baselinePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline []BenchResult
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("baseline %s: %v", *baselinePath, err)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return fmt.Errorf("bad -match: %v", err)
+	}
+	return checkRegressions(results, baseline, re, *maxRegress)
+}
+
+// procsSuffix returns the "-GOMAXPROCS" suffix go test appended to every
+// benchmark name in the document, or "" when there is none (GOMAXPROCS=1
+// runs have no suffix). The suffix is identified document-wide: it is
+// only the procs suffix if every name ends in the same "-N" — sub-bench
+// numbers like remote-1/remote-4 vary, the procs suffix never does.
+func procsSuffix(results []BenchResult) string {
+	suffix := ""
+	for i, r := range results {
+		at := strings.LastIndex(r.Name, "-")
+		if at < 0 {
+			return ""
+		}
+		tail := r.Name[at:]
+		if _, err := strconv.Atoi(tail[1:]); err != nil {
+			return ""
+		}
+		if i == 0 {
+			suffix = tail
+		} else if tail != suffix {
+			return ""
+		}
+	}
+	return suffix
+}
+
+// checkRegressions is the perf gate: every baseline benchmark matching re
+// must be present in the current run, and its episodes/sec must not sit
+// more than maxRegress percent below the baseline figure. All failures are
+// reported at once — a regression across the board should read as such,
+// not as one benchmark at a time.
+func checkRegressions(current, baseline []BenchResult, re *regexp.Regexp, maxRegress float64) error {
+	const metric = "episodes/sec"
+	curSuffix, baseSuffix := procsSuffix(current), procsSuffix(baseline)
+	cur := make(map[string]float64, len(current))
+	for _, r := range current {
+		if v, ok := r.Metrics[metric]; ok {
+			cur[strings.TrimSuffix(r.Name, curSuffix)] = v
+		}
+	}
+	var failures []string
+	gated := 0
+	for _, b := range baseline {
+		name := strings.TrimSuffix(b.Name, baseSuffix)
+		if !re.MatchString(name) {
+			continue
+		}
+		base, ok := b.Metrics[metric]
+		if !ok || base <= 0 {
+			continue
+		}
+		gated++
+		got, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", name))
+			continue
+		}
+		drop := (base - got) / base * 100
+		if drop > maxRegress {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.2f %s, %.1f%% below baseline %.2f (max %g%%)",
+					name, got, metric, drop, base, maxRegress))
+		} else {
+			fmt.Fprintf(os.Stderr, "avfi-bench2json: %s: %.2f %s vs baseline %.2f (ok)\n",
+				name, got, metric, base)
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("baseline has no %s benchmarks matching %v — gate is vacuous", metric, re)
+	}
+	if failures != nil {
+		return fmt.Errorf("perf regression vs baseline:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // parseBench extracts every benchmark line from go test -bench output.

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -42,7 +44,7 @@ func TestParseBench(t *testing.T) {
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleBench), &out); err != nil {
+	if err := run(nil, strings.NewReader(sampleBench), &out); err != nil {
 		t.Fatal(err)
 	}
 	var back []BenchResult
@@ -58,7 +60,7 @@ func TestRunEmitsValidJSON(t *testing.T) {
 // produce a JSON array, not null — downstream tooling reads length.
 func TestParseBenchNoResults(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\nok x 0.01s\n"), &out); err != nil {
+	if err := run(nil, strings.NewReader("PASS\nok x 0.01s\n"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.TrimSpace(out.String()); got != "[]" {
@@ -69,5 +71,117 @@ func TestParseBenchNoResults(t *testing.T) {
 func TestParseBenchBadMetric(t *testing.T) {
 	if _, err := parseBench(strings.NewReader("BenchmarkX-8 1 nope ns/op\n")); err == nil {
 		t.Error("unparseable metric value accepted")
+	}
+}
+
+func TestProcsSuffix(t *testing.T) {
+	mk := func(names ...string) []BenchResult {
+		rs := make([]BenchResult, len(names))
+		for i, n := range names {
+			rs[i] = BenchResult{Name: n}
+		}
+		return rs
+	}
+	cases := []struct {
+		names []BenchResult
+		want  string
+	}{
+		// Uniform -8 tail across the document: the procs suffix.
+		{mk("BenchmarkCampaignPool/remote-1-8", "BenchmarkCampaignPool/remote-4-8"), "-8"},
+		// GOMAXPROCS=1 run: sub-bench numbers vary, nothing to strip.
+		{mk("BenchmarkCampaignPool/remote-1", "BenchmarkCampaignPool/remote-4"), ""},
+		// A name with no numeric tail at all vetoes stripping.
+		{mk("BenchmarkRecordCodec/binary", "BenchmarkCampaignPool/remote-4-8"), ""},
+		{nil, ""},
+	}
+	for _, tc := range cases {
+		if got := procsSuffix(tc.names); got != tc.want {
+			t.Errorf("procsSuffix(%v) = %q, want %q", tc.names, got, tc.want)
+		}
+	}
+}
+
+// writeBaseline commits a baseline fixture and returns its path.
+func writeBaseline(t *testing.T, results []BenchResult) string {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func remoteBaseline(epsPerSec float64) []BenchResult {
+	return []BenchResult{
+		{Name: "BenchmarkCampaignPool/inproc-1-4", Iterations: 1,
+			Metrics: map[string]float64{"episodes/sec": 1000}},
+		{Name: "BenchmarkCampaignPool/remote-4-4", Iterations: 1,
+			Metrics: map[string]float64{"episodes/sec": epsPerSec}},
+	}
+}
+
+// TestBaselineGatePasses: a run within the tolerance (including a mild
+// drop and a different GOMAXPROCS suffix) passes the gate.
+func TestBaselineGatePasses(t *testing.T) {
+	// Current run: 124.17 eps on remote-4 (sampleBench). Baseline asks for
+	// at most 20% below 150 => floor 120.
+	path := writeBaseline(t, remoteBaseline(150))
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkCampaignPool/remote-4-8") {
+		t.Error("gated run did not still emit the JSON document")
+	}
+}
+
+// TestBaselineGateFailsOnRegression: a drop past -max-regress fails, and
+// the JSON artifact is written before the failure surfaces.
+func TestBaselineGateFailsOnRegression(t *testing.T) {
+	// 124.17 eps vs baseline 200 is a 38% drop.
+	path := writeBaseline(t, remoteBaseline(200))
+	var out bytes.Buffer
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out)
+	if err == nil || !strings.Contains(err.Error(), "perf regression") {
+		t.Fatalf("38%% drop passed the gate: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Error("failed gate suppressed the JSON artifact")
+	}
+	// Loosening the threshold admits the same run.
+	if err := run([]string{"-baseline", path, "-max-regress", "50"},
+		strings.NewReader(sampleBench), &bytes.Buffer{}); err != nil {
+		t.Errorf("-max-regress 50 still failed: %v", err)
+	}
+}
+
+// TestBaselineGateFailsOnMissingBenchmark: a gated benchmark that vanishes
+// from the run is a failure — deleting the benchmark must not green the gate.
+func TestBaselineGateFailsOnMissingBenchmark(t *testing.T) {
+	path := writeBaseline(t, append(remoteBaseline(100), BenchResult{
+		Name: "BenchmarkCampaignPool/remote-8-4", Iterations: 1,
+		Metrics: map[string]float64{"episodes/sec": 100},
+	}))
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "missing from this run") {
+		t.Fatalf("vanished gated benchmark: err = %v, want missing-benchmark failure", err)
+	}
+}
+
+// TestBaselineGateRejectsVacuousBaseline: a baseline whose entries never
+// match the gate regexp means the gate guards nothing — that is a
+// configuration error, not a pass.
+func TestBaselineGateRejectsVacuousBaseline(t *testing.T) {
+	path := writeBaseline(t, []BenchResult{{
+		Name: "BenchmarkRecordCodec/binary-8", Iterations: 1,
+		Metrics: map[string]float64{"MB/s": 512},
+	}})
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "vacuous") {
+		t.Fatalf("gate with nothing to guard: err = %v, want vacuous-baseline failure", err)
 	}
 }

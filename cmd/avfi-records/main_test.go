@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/avfi/avfi"
+)
+
+func testRecords() []avfi.EpisodeRecord {
+	return []avfi.EpisodeRecord{
+		{Injector: "gaussian", Mission: 1, Repetition: 0, Seed: 7, Success: true,
+			DistanceKM: 1.4025, DurationSec: 12.5},
+		{Injector: "noinject", Mission: 0, Repetition: 0, Seed: 3, Success: true,
+			DistanceKM: 1.0, DurationSec: 9.0},
+		{Injector: "noinject", Mission: 0, Repetition: 1, Seed: 4,
+			Violations: []avfi.ViolationRecord{{Kind: "collision", TimeSec: 4.5, Accident: true}}},
+	}
+}
+
+func writeLog(t *testing.T, path string, format avfi.RecordFormat, recs []avfi.EpisodeRecord) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := format.NewRecordSink(f)
+	for _, r := range recs {
+		if err := sink.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// canonicalJSONL is the reference output: the canonical sorted merge of
+// the given records as JSONL.
+func canonicalJSONL(t *testing.T, recs []avfi.EpisodeRecord) []byte {
+	t.Helper()
+	var in bytes.Buffer
+	sink := avfi.NewBinarySink(&in)
+	for _, r := range recs {
+		if err := sink.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := avfi.MergeRecords(&out, avfi.FormatJSONL, bytes.NewReader(in.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestRunMergesShardDirToStdout: a mixed-format shard directory merges to
+// the canonical JSONL stream on stdout.
+func TestRunMergesShardDirToStdout(t *testing.T) {
+	recs := testRecords()
+	dir := t.TempDir()
+	writeLog(t, filepath.Join(dir, avfi.ShardLogName(0)), avfi.FormatJSONL, recs[:1])
+	writeLog(t, filepath.Join(dir, avfi.BinaryShardLogName(1)), avfi.FormatBinary, recs[1:])
+
+	var out bytes.Buffer
+	if err := run([]string{dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if want := canonicalJSONL(t, recs); !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("merged dir = %q, want %q", out.Bytes(), want)
+	}
+}
+
+// TestRunConvertsRoundTrip: JSONL -> binary file -> JSONL through the
+// command is byte-lossless.
+func TestRunConvertsRoundTrip(t *testing.T) {
+	recs := testRecords()
+	dir := t.TempDir()
+	src := filepath.Join(dir, "records.jsonl")
+	writeLog(t, src, avfi.FormatJSONL, recs)
+
+	bin := filepath.Join(dir, "records.bin")
+	if err := run([]string{"-format", "binary", "-o", bin, src}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avfi.SniffRecordFormat(data) != avfi.FormatBinary {
+		t.Fatalf("converted log does not open with a binary frame: %x", data[:1])
+	}
+
+	var back bytes.Buffer
+	if err := run([]string{bin}, &back); err != nil {
+		t.Fatal(err)
+	}
+	if want := canonicalJSONL(t, recs); !bytes.Equal(back.Bytes(), want) {
+		t.Errorf("binary round trip = %q, want %q", back.Bytes(), want)
+	}
+}
+
+// TestRunRefusesOutputOverInput: -o naming one of the inputs must be
+// refused before os.Create truncates it.
+func TestRunRefusesOutputOverInput(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "records.jsonl")
+	writeLog(t, src, avfi.FormatJSONL, testRecords())
+
+	err := run([]string{"-o", src, src}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "also an input") {
+		t.Fatalf("merging a log onto itself: err = %v, want output-is-input refusal", err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("refused merge still truncated the input")
+	}
+}
+
+// TestRunRejectsEmptyAndMissingInputs pins the error paths: no args, a
+// directory with no shard logs, and a nonexistent path.
+func TestRunRejectsEmptyAndMissingInputs(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Error("shard-less directory accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "absent.jsonl")}, &bytes.Buffer{}); err == nil {
+		t.Error("nonexistent input accepted")
+	}
+}

@@ -31,14 +31,17 @@
 // with -backends; and, with -tcp, one listener each) for the entire
 // campaign, with least-loaded dispatch, bounded episode retry (-retries)
 // and replacement of dead backends. Results are identical at any pool size
-// for the same seed. -stream-records streams every episode to a JSONL file
+// for the same seed. -stream-records streams every episode to a record log
 // as it completes; given a directory (trailing slash, or an existing
-// directory) it shards the stream instead — one records-<i>.jsonl log per
-// engine slot, written by independent aggregation goroutines, mergeable
-// back into the canonical single log with MergeRecordsJSONL. Combined with
-// neither -records-csv nor -json, the campaign aggregates incrementally,
-// keeping only a small fixed-size statistics digest per episode instead of
-// full records.
+// directory) it shards the stream instead — one log per engine slot,
+// written by independent aggregation goroutines, mergeable back into the
+// canonical single log with avfi-records (or MergeRecords). Fresh runs
+// write the compact binary record format by default; -record-format jsonl
+// keeps the text encoding, and every reader (-resume, avfi-records)
+// auto-detects the format per file, so logs of both kinds mix freely.
+// Combined with neither -records-csv nor -json, the campaign aggregates
+// incrementally, keeping only a small fixed-size statistics digest per
+// episode instead of full records.
 //
 // -adaptive replaces the exhaustive sweep with the risk-driven
 // orchestrator: rounds of -round episodes are allocated over scenario
@@ -46,12 +49,13 @@
 // observed so far, within a total budget of -budget episodes (0 = the
 // full grid). A per-round progress line reports where the budget went.
 //
-// -resume loads a JSONL episode log — or a whole shard directory — from an
-// earlier partial run (truncated final lines are dropped): recorded
-// episodes are not re-run, their statistics seed the reports — and, with
-// -adaptive, the allocation posteriors. Resuming into the same
-// -stream-records file or directory appends the fresh episodes to the
-// log(s) instead of truncating them.
+// -resume streams an episode log — or a whole shard directory — from an
+// earlier partial run (crash-truncated tails are dropped, format detected
+// per file): recorded episodes are not re-run, their statistics seed the
+// reports — and, with -adaptive, the allocation posteriors — one record at
+// a time, so resuming costs O(1) memory at any campaign size. Resuming
+// into the same -stream-records file or directory appends the fresh
+// episodes to the log(s) instead of truncating them.
 //
 // Without -agent, the driving agent is trained in-process from the oracle
 // autopilot first (about a minute); save one with avfi-train to skip that.
@@ -67,6 +71,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -113,7 +118,8 @@ func run(ctx context.Context) error {
 		policyName = flag.String("policy", "ucb", "adaptive allocation policy: uniform|halving|ucb")
 		budget     = flag.Int("budget", 0, "adaptive total episode budget (0 = the full scenario grid)")
 		roundSize  = flag.Int("round", 0, "adaptive episodes per plan/observe/reallocate round (0 = auto)")
-		resumePath = flag.String("resume", "", "resume from this JSONL episode log (or shard directory): recorded episodes are not re-run")
+		resumePath = flag.String("resume", "", "resume from this episode log (or shard directory, either record format): recorded episodes are not re-run")
+		recordFmt  = flag.String("record-format", "auto", "record log format for -stream-records: jsonl|binary (auto = binary for a fresh run, the existing log's format when appending)")
 		serveAddr  = flag.String("serve", "", "run as a simulator worker on this address (e.g. :7070) instead of a campaign")
 		backends   = flag.String("backends", "", "comma-separated remote worker addresses; the campaign dials these instead of spawning in-process engines")
 	)
@@ -181,30 +187,30 @@ func run(ctx context.Context) error {
 		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries, Backends: backendList},
 		Seed:           *seed,
 	}
+	var resumeCount int
 	if *resumePath != "" {
-		var resumed []avfi.EpisodeRecord
-		if isDirPath(*resumePath) {
-			resumed, err = avfi.LoadRecordsDir(*resumePath)
-			if err != nil {
-				return err
-			}
-		} else {
-			f, err := os.Open(*resumePath)
-			if err != nil {
-				return err
-			}
-			resumed, err = avfi.LoadRecordsJSONL(f)
-			f.Close()
-			if err != nil {
-				return err
-			}
+		// Stream the prior log instead of materializing it: the campaign
+		// seeds its builders record by record (format auto-detected per
+		// file), so resuming a million-episode log costs one fd and one
+		// record of memory.
+		stream, err := avfi.OpenRecordsPath(*resumePath)
+		if err != nil {
+			return err
 		}
-		cfg.Resume = resumed
-		fmt.Fprintf(os.Stderr, "resuming: %d episodes already on record in %s\n", len(resumed), *resumePath)
+		defer stream.Close()
+		cfg.ResumeFrom = countSource{src: stream, n: &resumeCount}
+		fmt.Fprintf(os.Stderr, "resuming: streaming episodes already on record in %s\n", *resumePath)
 	}
 	var streamFiles []*os.File
 	if *streamPath != "" {
+		format, err := avfi.ParseRecordFormat(*recordFmt)
+		if err != nil {
+			return err
+		}
 		appendMode := *resumePath != "" && sameFile(*streamPath, *resumePath)
+		if format, err = resolveStreamFormat(format, *streamPath, appendMode); err != nil {
+			return err
+		}
 		if isDirPath(*streamPath) {
 			// A fresh sharded run clears the directory's old shard logs —
 			// which would destroy a resume source living inside it before
@@ -214,7 +220,7 @@ func run(ctx context.Context) error {
 				return fmt.Errorf("-resume %s lives inside the -stream-records directory %s; resume from the directory itself to append, or stream elsewhere",
 					*resumePath, *streamPath)
 			}
-			// Sharded stream: one JSONL log per engine slot, each written
+			// Sharded stream: one record log per engine slot, each written
 			// by its own aggregation goroutine. Sized by the scheduler's
 			// rule (PoolSize); campaigns small enough for the scheduler to
 			// clamp further just leave the surplus shards empty.
@@ -222,23 +228,23 @@ func run(ctx context.Context) error {
 			if workers <= 0 {
 				workers = runtime.NumCPU()
 			}
-			files, err := openShardLogs(*streamPath, cfg.Pool.PoolSize(workers), appendMode)
+			files, err := openShardLogs(*streamPath, cfg.Pool.PoolSize(workers), appendMode, format)
 			if err != nil {
 				return err
 			}
 			for _, f := range files {
 				defer f.Close()
 				streamFiles = append(streamFiles, f)
-				cfg.ShardSinks = append(cfg.ShardSinks, avfi.NewJSONLSink(f))
+				cfg.ShardSinks = append(cfg.ShardSinks, format.NewRecordSink(f))
 			}
 		} else {
 			var f *os.File
 			if appendMode {
 				// Continuing the same durable log: clamp away any
-				// crash-truncated partial tail (LoadRecordsJSONL dropped it
+				// crash-truncated partial tail (the resume reader dropped it
 				// too), then append the fresh episodes — the recorded ones
-				// were loaded above and are not re-sunk.
-				f, err = openClampedForAppend(*streamPath)
+				// are streamed into the builders and not re-sunk.
+				f, err = openClampedForAppend(*streamPath, format)
 			} else {
 				f, err = os.Create(*streamPath)
 			}
@@ -250,7 +256,7 @@ func run(ctx context.Context) error {
 			// surface at close, and these files are the durable episode log).
 			defer f.Close()
 			streamFiles = append(streamFiles, f)
-			cfg.Sink = avfi.NewJSONLSink(f)
+			cfg.Sink = format.NewRecordSink(f)
 		}
 		// With the records streamed to disk and no consumer of the
 		// in-memory copy, aggregate incrementally instead of retaining
@@ -294,6 +300,9 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+	}
+	if *resumePath != "" {
+		fmt.Fprintf(os.Stderr, "resumed: %d episodes were already on record in %s\n", resumeCount, *resumePath)
 	}
 	// Pool.Engines lists dead and replaced engines too; count live ones.
 	poolSize := 0
@@ -409,26 +418,109 @@ func isDirPath(path string) bool {
 	return err == nil && info.IsDir()
 }
 
-// openShardLogs opens n shard logs (records-<i>.jsonl) inside dir,
+// countSource counts the records a resume stream yields, so the CLI can
+// report how many episodes were skipped without materializing the log.
+type countSource struct {
+	src avfi.RecordSource
+	n   *int
+}
+
+// Read implements avfi.RecordSource.
+func (c countSource) Read() (avfi.EpisodeRecord, error) {
+	rec, err := c.src.Read()
+	if err == nil {
+		*c.n++
+	}
+	return rec, err
+}
+
+// resolveStreamFormat pins down the record format a -stream-records run
+// writes. A fresh run defaults to binary (the hot-path encoding); an
+// appending run adopts the existing log's format — and refuses an
+// explicit -record-format that contradicts it, since the clamp-and-append
+// machinery assumes one format per log file.
+func resolveStreamFormat(format avfi.RecordFormat, path string, appendMode bool) (avfi.RecordFormat, error) {
+	existing := avfi.FormatAuto
+	if appendMode {
+		var err error
+		if existing, err = sniffStreamFormat(path); err != nil {
+			return format, err
+		}
+	}
+	switch {
+	case existing == avfi.FormatAuto:
+		// Nothing on disk to adopt: the writer's default is binary.
+		if format == avfi.FormatAuto {
+			format = avfi.FormatBinary
+		}
+	case format == avfi.FormatAuto:
+		format = existing
+	case format != existing:
+		return format, fmt.Errorf("-record-format %s contradicts the existing %s log %s; convert it with avfi-records or stream elsewhere",
+			format, existing, path)
+	}
+	return format, nil
+}
+
+// sniffStreamFormat detects the record format already on disk at a
+// -stream-records target: the file's own leading byte, or a shard
+// directory's first shard log's. FormatAuto means nothing is there yet.
+func sniffStreamFormat(path string) (avfi.RecordFormat, error) {
+	target := path
+	if isDirPath(path) {
+		var shards []string
+		for _, pattern := range []string{"records-*.jsonl", "records-*.bin"} {
+			part, err := filepath.Glob(filepath.Join(path, pattern))
+			if err != nil {
+				return avfi.FormatAuto, err
+			}
+			shards = append(shards, part...)
+		}
+		if len(shards) == 0 {
+			return avfi.FormatAuto, nil
+		}
+		sort.Strings(shards)
+		target = shards[0]
+	}
+	f, err := os.Open(target)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return avfi.FormatAuto, nil
+		}
+		return avfi.FormatAuto, err
+	}
+	defer f.Close()
+	prefix := make([]byte, 1)
+	n, err := f.Read(prefix)
+	if err != nil && err != io.EOF {
+		return avfi.FormatAuto, err
+	}
+	return avfi.SniffRecordFormat(prefix[:n]), nil
+}
+
+// openShardLogs opens n shard logs inside dir (named by the format),
 // creating it as needed. In append mode existing shards are clamped to
-// their last complete line and appended to (the resume loader dropped the
-// partial tail too). Otherwise this is a fresh campaign: every existing
-// records-*.jsonl is removed first — truncating only the first n would
-// leave a previous, larger run's higher-numbered shards on disk for a
-// later -resume or merge to silently ingest. On any failure the
-// already-opened files are closed.
-func openShardLogs(dir string, n int, appendMode bool) ([]*os.File, error) {
+// their last complete record boundary and appended to (the resume reader
+// dropped the partial tail too). Otherwise this is a fresh campaign:
+// every existing shard log — both formats — is removed first. Truncating
+// only the first n would leave a previous, larger run's higher-numbered
+// shards on disk for a later -resume or merge to silently ingest, and a
+// prior run of the other format would survive a same-format-only sweep
+// the same way. On any failure the already-opened files are closed.
+func openShardLogs(dir string, n int, appendMode bool, format avfi.RecordFormat) ([]*os.File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if !appendMode {
-		stale, err := filepath.Glob(filepath.Join(dir, "records-*.jsonl"))
-		if err != nil {
-			return nil, err
-		}
-		for _, path := range stale {
-			if err := os.Remove(path); err != nil {
+		for _, pattern := range []string{"records-*.jsonl", "records-*.bin"} {
+			stale, err := filepath.Glob(filepath.Join(dir, pattern))
+			if err != nil {
 				return nil, err
+			}
+			for _, path := range stale {
+				if err := os.Remove(path); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -440,12 +532,12 @@ func openShardLogs(dir string, n int, appendMode bool) ([]*os.File, error) {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
-		path := filepath.Join(dir, avfi.ShardLogName(i))
+		path := filepath.Join(dir, format.ShardLogName(i))
 		var f *os.File
 		var err error
 		if appendMode {
 			if _, statErr := os.Stat(path); statErr == nil {
-				f, err = openClampedForAppend(path)
+				f, err = openClampedForAppend(path, format)
 			} else {
 				f, err = os.Create(path)
 			}
@@ -462,12 +554,17 @@ func openShardLogs(dir string, n int, appendMode bool) ([]*os.File, error) {
 
 // openClampedForAppend opens an existing log for appending after clamping
 // away any crash-truncated partial tail.
-func openClampedForAppend(path string) (*os.File, error) {
+func openClampedForAppend(path string, format avfi.RecordFormat) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err = clampToCompleteLines(f); err == nil {
+	if format == avfi.FormatBinary {
+		err = clampToCompleteFrames(f)
+	} else {
+		err = clampToCompleteLines(f)
+	}
+	if err == nil {
 		_, err = f.Seek(0, io.SeekEnd)
 	}
 	if err != nil {
@@ -475,6 +572,19 @@ func openClampedForAppend(path string) (*os.File, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+// clampToCompleteFrames truncates f to the end of its last complete
+// binary record frame — the binary counterpart of clampToCompleteLines.
+func clampToCompleteFrames(f *os.File) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	good, err := avfi.CompleteBinaryPrefixLen(f)
+	if err != nil {
+		return err
+	}
+	return f.Truncate(good)
 }
 
 // parseMatrix assembles the -matrix scenario space from its flag values.

@@ -220,7 +220,7 @@ func TestOpenShardLogsAppendClampsTails(t *testing.T) {
 		[]byte("{\"a\":1}\n{\"b\":2}\n{\"c\":"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	files, err := openShardLogs(dir, 2, true)
+	files, err := openShardLogs(dir, 2, true, avfi.FormatJSONL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestOpenShardLogsFreshRemovesStaleShards(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	files, err := openShardLogs(dir, 2, false)
+	files, err := openShardLogs(dir, 2, false, avfi.FormatJSONL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,5 +305,142 @@ func TestOpenShardLogsFreshRemovesStaleShards(t *testing.T) {
 		if len(data) != 0 {
 			t.Errorf("%s not truncated: %q", filepath.Base(path), data)
 		}
+	}
+}
+
+// binaryLog encodes records through the binary sink for shard fixtures.
+func binaryLog(t *testing.T, recs []avfi.EpisodeRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := avfi.NewBinarySink(&buf)
+	for _, r := range recs {
+		if err := sink.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestOpenShardLogsBinaryAppendClampsFrames: append mode on binary shards
+// must clamp each existing log to its last complete frame (dropping a
+// crash-truncated tail) before appending.
+func TestOpenShardLogsBinaryAppendClampsFrames(t *testing.T) {
+	dir := t.TempDir()
+	whole := binaryLog(t, []avfi.EpisodeRecord{
+		{Injector: "noinject", Mission: 0, Seed: 1},
+		{Injector: "noinject", Mission: 1, Seed: 2},
+	})
+	// Leave half of the second frame as the crash tail.
+	complete := binaryLog(t, []avfi.EpisodeRecord{{Injector: "noinject", Mission: 0, Seed: 1}})
+	cut := len(complete) + (len(whole)-len(complete))/2
+	if err := os.WriteFile(filepath.Join(dir, avfi.BinaryShardLogName(0)), whole[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := openShardLogs(dir, 2, true, avfi.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := binaryLog(t, []avfi.EpisodeRecord{{Injector: "gaussian", Mission: 0, Seed: 9}})
+	for _, f := range files {
+		if _, err := f.Write(fresh); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shard0, err := os.ReadFile(filepath.Join(dir, avfi.BinaryShardLogName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := append(append([]byte(nil), complete...), fresh...); !bytes.Equal(shard0, want) {
+		t.Errorf("shard 0 after clamped append = %x, want %x", shard0, want)
+	}
+	recs, err := avfi.LoadRecords(bytes.NewReader(shard0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("clamped-and-appended shard holds %d records, want 2", len(recs))
+	}
+}
+
+// TestOpenShardLogsFreshRemovesBothFormats: a fresh sharded run must clear
+// stale shard logs of BOTH formats — a prior run of the other encoding
+// would otherwise be silently ingested by a later -resume or merge.
+func TestOpenShardLogsFreshRemovesBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		if err := os.WriteFile(filepath.Join(dir, avfi.ShardLogName(i)),
+			[]byte("{\"stale\":true}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, avfi.BinaryShardLogName(i)),
+			binaryLog(t, []avfi.EpisodeRecord{{Injector: "stale"}}), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := openShardLogs(dir, 2, false, avfi.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "records-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Errorf("fresh run left %d shard logs (%v), want exactly its own 2", len(left), left)
+	}
+	for _, path := range left {
+		if filepath.Ext(path) != ".bin" {
+			t.Errorf("stale shard log survived the fresh run: %s", path)
+		}
+	}
+}
+
+// TestResolveStreamFormat pins the format-selection policy: binary for
+// fresh runs, adoption of the existing log's format when appending, and a
+// refusal when an explicit flag contradicts what is on disk.
+func TestResolveStreamFormat(t *testing.T) {
+	if got, err := resolveStreamFormat(avfi.FormatAuto, "fresh.log", false); err != nil || got != avfi.FormatBinary {
+		t.Errorf("fresh auto = %v, %v; want binary", got, err)
+	}
+	if got, err := resolveStreamFormat(avfi.FormatJSONL, "fresh.log", false); err != nil || got != avfi.FormatJSONL {
+		t.Errorf("fresh explicit jsonl = %v, %v; want jsonl", got, err)
+	}
+
+	dir := t.TempDir()
+	jsonlLog := filepath.Join(dir, "records.jsonl")
+	if err := os.WriteFile(jsonlLog, []byte("{\"Injector\":\"noinject\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := resolveStreamFormat(avfi.FormatAuto, jsonlLog, true); err != nil || got != avfi.FormatJSONL {
+		t.Errorf("append auto over jsonl = %v, %v; want adopted jsonl", got, err)
+	}
+	if _, err := resolveStreamFormat(avfi.FormatBinary, jsonlLog, true); err == nil {
+		t.Error("appending binary to an existing jsonl log accepted")
+	}
+
+	shardDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(shardDir, avfi.BinaryShardLogName(0)),
+		binaryLog(t, []avfi.EpisodeRecord{{Injector: "noinject"}}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := resolveStreamFormat(avfi.FormatAuto, shardDir, true); err != nil || got != avfi.FormatBinary {
+		t.Errorf("append auto over binary shard dir = %v, %v; want adopted binary", got, err)
+	}
+
+	// Nothing on disk to adopt: appending still defaults to binary.
+	if got, err := resolveStreamFormat(avfi.FormatAuto, filepath.Join(dir, "absent.log"), true); err != nil || got != avfi.FormatBinary {
+		t.Errorf("append auto over nothing = %v, %v; want binary", got, err)
 	}
 }

@@ -82,7 +82,8 @@ type AdaptiveStats struct {
 }
 
 // cellPosterior accumulates one cell's observed statistics. Fold order is
-// deterministic — each round's records are sorted before folding — so the
+// deterministic — each round's records are sorted before folding, and
+// resumed records fold in their log's fixed stream order — so the
 // floating-point Welford state is identical at any pool size.
 type cellPosterior struct {
 	episodes     int
@@ -131,7 +132,24 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 			len(r.cells)-len(cellIdx), len(r.cells))
 	}
 
-	resumed, skip := r.resumeState()
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	pipe := newSinkPipeline(r.cells, r.sinkLanes(), !r.cfg.DiscardRecords,
+		func(err error) { cancel(err) }, r.cfg.Progress, r.cfg.ProgressV2)
+
+	// Posteriors start from the resumed episodes, folded in stream order
+	// as they seed the pipeline — one pass, no materialized record slice.
+	// For a given resume log the order (and so the Welford float state) is
+	// fixed, and fresh rounds still fold in sorted order below.
+	posteriors := make([]cellPosterior, len(r.cells))
+	skip, err := r.seedResume(func(rec metrics.EpisodeRecord) {
+		pipe.seed(rec)
+		posteriors[cellIdx[rec.Injector]].fold(rec)
+	})
+	if err != nil {
+		pipe.abandon()
+		return nil, err
+	}
 
 	// Per-cell queues of unconsumed (mission, repetition) slots, in the
 	// static sweep's order (mission-major); resume-recorded slots are
@@ -167,21 +185,10 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 	}
 	sess, err := r.newRunSession(maxBatch)
 	if err != nil {
+		pipe.abandon()
 		return nil, err
 	}
-	ctx, cancel := context.WithCancelCause(ctx)
-	defer cancel(nil)
-	pipe := newSinkPipeline(r.cells, r.sinkLanes(), !r.cfg.DiscardRecords, sess.parallelism,
-		func(err error) { cancel(err) }, r.cfg.Progress, r.cfg.ProgressV2, resumed)
-
-	// Posteriors start from the resumed episodes, folded in deterministic
-	// order.
-	posteriors := make([]cellPosterior, len(r.cells))
-	seedRecs := append([]metrics.EpisodeRecord(nil), resumed...)
-	sortRecords(seedRecs)
-	for _, rec := range seedRecs {
-		posteriors[cellIdx[rec.Injector]].fold(rec)
-	}
+	pipe.start(sess.parallelism)
 
 	astats := &AdaptiveStats{Policy: acfg.Policy.Name(), Budget: budget}
 	for _, c := range r.cells {

@@ -1,0 +1,324 @@
+// Binary episode records: the hot-path encoding of the durable episode
+// log. JSONL (sink.go) pays text encoding and reflection on every episode;
+// a million-episode sweep spends more time marshaling records than some
+// injectors spend perturbing frames. The binary format is a
+// length-prefixed, versioned frame per record — compact, reflection-free,
+// and detectable by its first byte (0xAF, never the start of a JSON line),
+// so every reader in the package auto-detects the format and the two can
+// coexist in one shard directory. JSONL remains the export/interchange
+// form; cmd/avfi-records converts between them losslessly.
+//
+// Frame layout (big-endian):
+//
+//	magic   uint16  0xAF1B
+//	version uint8   BinaryRecordVersion
+//	length  uint32  payload bytes that follow
+//	payload:
+//	  injector          uint16 len + bytes
+//	  mission           uint32 (two's-complement int32)
+//	  repetition        uint32 (two's-complement int32)
+//	  seed              uint64
+//	  flags             uint8  (bit0 = success)
+//	  distanceKM        float64
+//	  durationSec       float64
+//	  injectionTimeSec  float64
+//	  violations        uint32 count, then per violation:
+//	    kind            uint8 len + bytes
+//	    timeSec         float64
+//	    flags           uint8  (bit0 = accident)
+//
+// A crash mid-write leaves a prefix of a frame; readers treat any
+// incomplete trailing frame as the truncated tail (dropped, like a partial
+// JSONL line) and any complete-but-invalid frame as corruption (an error).
+// The version byte is per-frame, so a future layout change can mix
+// versions in one log without a file header.
+
+package campaign
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/avfi/avfi/internal/metrics"
+)
+
+const (
+	binMagic0 = 0xAF
+	binMagic1 = 0x1B
+	// BinaryRecordVersion is the current binary record frame version;
+	// bumped on incompatible payload change.
+	BinaryRecordVersion = 1
+	// binHeaderLen is magic (2) + version (1) + payload length (4).
+	binHeaderLen = 7
+	// maxBinaryPayload bounds one record's payload — matches the JSONL
+	// loader's line cap, so a corrupt length prefix is detected instead of
+	// honored as an allocation request.
+	maxBinaryPayload = 16 << 20
+)
+
+// errShortRecord marks a frame that needs more bytes than the buffer
+// holds — the signature of a crash-truncated tail, which loaders tolerate.
+// Any other decode failure is corruption.
+var errShortRecord = errors.New("campaign: short binary record frame")
+
+// EncodeBinaryRecord serializes one episode record as a binary frame.
+func EncodeBinaryRecord(rec metrics.EpisodeRecord) ([]byte, error) {
+	return AppendBinaryRecord(nil, rec)
+}
+
+// AppendBinaryRecord appends rec's binary frame to dst and returns the
+// extended buffer. It errors on records the format cannot carry (label
+// strings beyond the length prefixes, mission/repetition outside int32) —
+// none of which the campaign runner produces.
+func AppendBinaryRecord(dst []byte, rec metrics.EpisodeRecord) ([]byte, error) {
+	if len(rec.Injector) > math.MaxUint16 {
+		return dst, fmt.Errorf("campaign: binary record: injector label is %d bytes (max %d)", len(rec.Injector), math.MaxUint16)
+	}
+	if int64(rec.Mission) != int64(int32(rec.Mission)) || int64(rec.Repetition) != int64(int32(rec.Repetition)) {
+		return dst, fmt.Errorf("campaign: binary record: mission=%d repetition=%d outside int32", rec.Mission, rec.Repetition)
+	}
+	for _, v := range rec.Violations {
+		if len(v.Kind) > math.MaxUint8 {
+			return dst, fmt.Errorf("campaign: binary record: violation kind is %d bytes (max %d)", len(v.Kind), math.MaxUint8)
+		}
+	}
+	payload := 2 + len(rec.Injector) + 4 + 4 + 8 + 1 + 3*8 + 4
+	for _, v := range rec.Violations {
+		payload += 1 + len(v.Kind) + 8 + 1
+	}
+	if payload > maxBinaryPayload {
+		return dst, fmt.Errorf("campaign: binary record: %d-byte payload exceeds %d", payload, maxBinaryPayload)
+	}
+	dst = append(dst, binMagic0, binMagic1, BinaryRecordVersion)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payload))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(rec.Injector)))
+	dst = append(dst, rec.Injector...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(rec.Mission)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(rec.Repetition)))
+	dst = binary.BigEndian.AppendUint64(dst, rec.Seed)
+	dst = append(dst, recFlags(rec.Success))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(rec.DistanceKM))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(rec.DurationSec))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(rec.InjectionTimeSec))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec.Violations)))
+	for _, v := range rec.Violations {
+		dst = append(dst, byte(len(v.Kind)))
+		dst = append(dst, v.Kind...)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.TimeSec))
+		dst = append(dst, recFlags(v.Accident))
+	}
+	return dst, nil
+}
+
+func recFlags(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DecodeBinaryRecord parses one binary frame from the front of buf,
+// returning the record and the frame's total length. It never panics on
+// arbitrary input: a buffer holding only a prefix of a frame returns
+// errShortRecord (the truncated-tail signature), any other malformation an
+// ordinary error.
+func DecodeBinaryRecord(buf []byte) (metrics.EpisodeRecord, int, error) {
+	var rec metrics.EpisodeRecord
+	if len(buf) < binHeaderLen {
+		return rec, 0, errShortRecord
+	}
+	if buf[0] != binMagic0 || buf[1] != binMagic1 {
+		return rec, 0, fmt.Errorf("campaign: binary record: bad magic %#02x%02x", buf[0], buf[1])
+	}
+	if buf[2] != BinaryRecordVersion {
+		return rec, 0, fmt.Errorf("campaign: binary record: version %d, want %d", buf[2], BinaryRecordVersion)
+	}
+	payload := int(binary.BigEndian.Uint32(buf[3:]))
+	if payload > maxBinaryPayload {
+		return rec, 0, fmt.Errorf("campaign: binary record: %d-byte payload exceeds %d", payload, maxBinaryPayload)
+	}
+	if len(buf) < binHeaderLen+payload {
+		return rec, 0, errShortRecord
+	}
+	r := binReader{buf: buf[binHeaderLen : binHeaderLen+payload]}
+	rec.Injector = string(r.bytes(int(r.uint16())))
+	rec.Mission = int(int32(r.uint32()))
+	rec.Repetition = int(int32(r.uint32()))
+	rec.Seed = r.uint64()
+	rec.Success = r.flag()
+	rec.DistanceKM = r.float()
+	rec.DurationSec = r.float()
+	rec.InjectionTimeSec = r.float()
+	nviol := int(r.uint32())
+	// Each violation is at least kind-len + time + flags = 10 bytes: a
+	// count that cannot fit the remaining payload is corruption, not an
+	// allocation request.
+	if nviol > 0 {
+		if r.err == nil && nviol > r.remaining()/10 {
+			return rec, 0, fmt.Errorf("campaign: binary record: %d violations exceed %d payload bytes", nviol, r.remaining())
+		}
+		rec.Violations = make([]metrics.ViolationRecord, 0, nviol)
+		for i := 0; i < nviol && r.err == nil; i++ {
+			var v metrics.ViolationRecord
+			v.Kind = string(r.bytes(int(r.byte())))
+			v.TimeSec = r.float()
+			v.Accident = r.flag()
+			rec.Violations = append(rec.Violations, v)
+		}
+	}
+	if r.err != nil {
+		return metrics.EpisodeRecord{}, 0, fmt.Errorf("campaign: binary record: %w", r.err)
+	}
+	if r.remaining() != 0 {
+		return metrics.EpisodeRecord{}, 0, fmt.Errorf("campaign: binary record: %d trailing payload bytes", r.remaining())
+	}
+	return rec, binHeaderLen + payload, nil
+}
+
+// binReader is a bounds-checked cursor over one frame's payload. A read
+// past the end sets err; the payload length is already validated against
+// the buffer, so overruns here mean a corrupt frame, never a short one.
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *binReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("payload overrun at offset %d (need %d of %d)", r.off, n, len(r.buf))
+		return false
+	}
+	return true
+}
+
+func (r *binReader) byte() byte {
+	if !r.need(1) {
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// flag reads a strict boolean byte: anything but 0 or 1 is corruption, so
+// every accepted frame re-encodes to its exact original bytes (the
+// encoding is canonical — merges of identical episode sets stay
+// byte-identical).
+func (r *binReader) flag() bool {
+	b := r.byte()
+	if r.err == nil && b > 1 {
+		r.err = fmt.Errorf("bad flags byte %#02x at offset %d", b, r.off-1)
+	}
+	return b&1 != 0
+}
+
+func (r *binReader) uint16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *binReader) uint32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *binReader) uint64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *binReader) float() float64 { return math.Float64frombits(r.uint64()) }
+
+func (r *binReader) bytes(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// CompleteBinaryPrefixLen reads a binary record log and returns the byte
+// length of its longest prefix holding only complete frames — the binary
+// counterpart of clamping a JSONL log to its last newline before
+// appending. An incomplete trailing frame (crash mid-write) is excluded
+// from the prefix; a malformed header is corruption and an error, since
+// appending after it would bury the damage mid-file.
+func CompleteBinaryPrefixLen(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var good int64
+	for {
+		header, err := br.Peek(binHeaderLen)
+		if err == io.EOF && len(header) == 0 {
+			return good, nil
+		}
+		if err != nil && err != io.EOF {
+			return good, err
+		}
+		if len(header) < binHeaderLen {
+			return good, nil // truncated trailing header
+		}
+		if _, _, err := DecodeBinaryRecord(header); err != nil && err != errShortRecord {
+			return good, err
+		}
+		frame := int64(binHeaderLen) + int64(binary.BigEndian.Uint32(header[3:]))
+		if n, err := io.CopyN(io.Discard, br, frame); err != nil {
+			if err == io.EOF && n < frame {
+				return good, nil // truncated trailing payload
+			}
+			return good, err
+		}
+		good += frame
+	}
+}
+
+// binarySink streams records as binary frames through a buffered writer —
+// the hot-path counterpart of NewJSONLSink, byte-compatible with every
+// binary-aware reader in the package.
+type binarySink struct {
+	bw  *bufio.Writer
+	buf []byte // frame scratch, reused across records
+}
+
+// NewBinarySink returns a RecordSink writing one binary frame per episode
+// to w. Like NewJSONLSink, the caller keeps ownership of w: Close flushes
+// buffering but does not close the underlying writer.
+func NewBinarySink(w io.Writer) RecordSink {
+	return &binarySink{bw: bufio.NewWriter(w)}
+}
+
+// Consume implements RecordSink.
+func (s *binarySink) Consume(rec metrics.EpisodeRecord) error {
+	frame, err := AppendBinaryRecord(s.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	s.buf = frame[:0]
+	_, err = s.bw.Write(frame)
+	return err
+}
+
+// Close implements RecordSink.
+func (s *binarySink) Close() error { return s.bw.Flush() }

@@ -118,14 +118,22 @@ type Config struct {
 	// neither.
 	ProgressV2 func(CellProgress)
 	// Resume seeds the campaign with episodes recorded by a prior partial
-	// run (typically loaded from a JSONL record sink with
-	// LoadRecordsJSONL). Their (cell, mission, repetition) slots are not
-	// re-dispatched; their records are folded into reports — and retained,
-	// unless DiscardRecords — but not re-sent to Sink, and adaptive
-	// posteriors start from them. Records for columns or slots outside
-	// this campaign's grid are ignored; duplicate slots keep the first
-	// record.
+	// run, already materialized in memory (e.g. via LoadRecordsJSONL).
+	// Their (cell, mission, repetition) slots are not re-dispatched; their
+	// records are folded into reports — and retained, unless
+	// DiscardRecords — but not re-sent to Sink, and adaptive posteriors
+	// start from them. Records for columns or slots outside this
+	// campaign's grid are ignored; duplicate slots keep the first record.
+	// Prefer ResumeFrom for large logs.
 	Resume []metrics.EpisodeRecord
+	// ResumeFrom streams resume records instead of materializing them:
+	// same semantics as Resume, but the records are read one at a time
+	// (typically from OpenRecordsPath over a log file or shard directory),
+	// so with DiscardRecords resume memory is O(1) in campaign size — the
+	// skip set tracks only slot keys, never records. Mutually exclusive
+	// with Resume. The runner drains the source before dispatching; the
+	// caller still owns any underlying files (see RecordStream.Close).
+	ResumeFrom RecordSource
 	// DiscardRecords drops records after streaming aggregation:
 	// ResultSet.Records stays nil, and instead of full EpisodeRecords
 	// (violation lists and label strings) the campaign retains only each
@@ -205,6 +213,9 @@ func (c Config) Validate() error {
 	}
 	if c.Sink != nil && len(c.ShardSinks) > 0 {
 		return fmt.Errorf("campaign: Sink and ShardSinks are mutually exclusive")
+	}
+	if len(c.Resume) > 0 && c.ResumeFrom != nil {
+		return fmt.Errorf("campaign: Resume and ResumeFrom are mutually exclusive")
 	}
 	for i, s := range c.ShardSinks {
 		if s == nil {

@@ -32,6 +32,39 @@ type PoolConfig struct {
 	// the wire (EpisodeResult), so the worker's world configuration is the
 	// only thing that must match the campaign's for bit-identical results.
 	Backends []string
+	// BatchOpens bounds how many concurrent episode opens an engine's
+	// client may coalesce into one OpenEpisodeBatch message — the group
+	// commit that amortizes per-session sends on remote dispatch. 0 (the
+	// default) enables batching with a default bound on dialed Backends
+	// engines only, where a send is a network round-trip worth amortizing;
+	// 1 disables batching everywhere; >= 2 sets the exact bound on every
+	// engine, in-process included. Batching engages only against servers
+	// announcing the capability, so legacy workers transparently get
+	// single opens; it never changes episode results, only message
+	// framing.
+	BatchOpens int
+}
+
+// defaultBatchOpens is the auto (BatchOpens = 0) coalescing bound for
+// remote engines — deep enough to soak up a worker pool's burst of
+// concurrent opens, small against MaxBatchOpens.
+const defaultBatchOpens = 8
+
+// batchLimit resolves BatchOpens for one engine (remote reports whether
+// the engine dials a Backends worker): the coalescing bound, 1 for
+// batching off.
+func (p PoolConfig) batchLimit(remote bool) int {
+	switch {
+	case p.BatchOpens == 0:
+		if remote {
+			return defaultBatchOpens
+		}
+		return 1
+	case p.BatchOpens < 1:
+		return 1
+	default:
+		return p.BatchOpens
+	}
 }
 
 // PoolSize resolves the number of engine slots this configuration runs
@@ -141,6 +174,7 @@ func (r *Runner) startEngine() (*engine, error) {
 
 	go func() { eng.serveCh <- eng.server.Serve(eng.serverConn) }()
 	eng.client = simclient.NewClient(clientConn)
+	eng.client.SetBatchOpens(r.cfg.Pool.batchLimit(false))
 	return eng, nil
 }
 
@@ -162,10 +196,12 @@ func (r *Runner) dialBackend() (*engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: backend %s: %w", addr, err)
 	}
+	client := simclient.NewClient(conn)
+	client.SetBatchOpens(r.cfg.Pool.batchLimit(true))
 	return &engine{
 		transport: "remote",
 		backend:   addr,
-		client:    simclient.NewClient(conn),
+		client:    client,
 	}, nil
 }
 

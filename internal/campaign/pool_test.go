@@ -355,4 +355,13 @@ func BenchmarkCampaignPool(b *testing.B) {
 			bench(b, PoolConfig{Backends: addrs})
 		})
 	}
+	// Batching disabled (one OpenEpisode envelope per episode) — the legacy
+	// wire pattern, kept on the chart so the default-batched remote-N rows
+	// show what group-committed dispatch buys.
+	for _, engines := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("remote-single-%d", engines), func(b *testing.B) {
+			addrs, _ := startTestWorkers(b, engines)
+			bench(b, PoolConfig{Backends: addrs, BatchOpens: 1})
+		})
+	}
 }

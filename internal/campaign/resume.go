@@ -11,10 +11,6 @@
 package campaign
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
-	"fmt"
 	"io"
 
 	"github.com/avfi/avfi/internal/metrics"
@@ -24,32 +20,9 @@ import (
 // NewJSONLSink) — the durable episode log of a partial campaign. A
 // truncated or corrupt final line is tolerated and dropped (the signature
 // of a crash mid-write); corruption anywhere earlier is an error.
+// LoadRecords is the format-agnostic counterpart.
 func LoadRecordsJSONL(r io.Reader) ([]metrics.EpisodeRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 16<<20)
-	var recs []metrics.EpisodeRecord
-	var pending error // a bad line is fatal only if a later line follows
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := bytes.TrimSpace(sc.Bytes())
-		if len(raw) == 0 {
-			continue
-		}
-		if pending != nil {
-			return nil, pending
-		}
-		var rec metrics.EpisodeRecord
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			pending = fmt.Errorf("campaign: resume: line %d: %w", line, err)
-			continue
-		}
-		recs = append(recs, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: resume: %w", err)
-	}
-	return recs, nil
+	return drainSource(newJSONLSource(r))
 }
 
 // pairKey identifies one episode slot of the campaign grid.
@@ -70,31 +43,52 @@ func (r *Runner) cellIndex() map[string]int {
 	return idx
 }
 
-// resumeState reconciles Config.Resume against this campaign's grid: it
-// returns the usable records plus the set of slots they occupy. Records
-// for unknown columns or out-of-range slots are dropped (they belong to a
-// different configuration), and duplicate slots keep the first record.
-func (r *Runner) resumeState() ([]metrics.EpisodeRecord, map[pairKey]bool) {
-	if len(r.cfg.Resume) == 0 {
+// resumeSource resolves the configured resume input into one stream:
+// Config.ResumeFrom as-is, Config.Resume through an in-memory adapter, nil
+// when the campaign resumes from nothing.
+func (r *Runner) resumeSource() RecordSource {
+	if r.cfg.ResumeFrom != nil {
+		return r.cfg.ResumeFrom
+	}
+	if len(r.cfg.Resume) > 0 {
+		return &sliceSource{recs: r.cfg.Resume}
+	}
+	return nil
+}
+
+// seedResume streams the configured resume records, reconciling each
+// against this campaign's grid and handing the usable ones to seedFn one
+// at a time — the O(1)-memory resume path. It returns the set of slots on
+// record, which pendingJobs subtracts from the sweep. Records for unknown
+// columns or out-of-range slots are dropped (they belong to a different
+// configuration), and duplicate slots keep the first record.
+func (r *Runner) seedResume(seedFn func(metrics.EpisodeRecord)) (map[pairKey]bool, error) {
+	src := r.resumeSource()
+	if src == nil {
 		return nil, nil
 	}
 	cellIdx := r.cellIndex()
-	used := make(map[pairKey]bool, len(r.cfg.Resume))
-	var recs []metrics.EpisodeRecord
-	for _, rec := range r.cfg.Resume {
+	skip := make(map[pairKey]bool)
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			return skip, nil
+		}
+		if err != nil {
+			return nil, err
+		}
 		ci, ok := cellIdx[rec.Injector]
 		if !ok || rec.Mission < 0 || rec.Mission >= len(r.missions) ||
 			rec.Repetition < 0 || rec.Repetition >= r.cfg.Repetitions {
 			continue
 		}
 		k := pairKey{cell: ci, mission: rec.Mission, repetition: rec.Repetition}
-		if used[k] {
+		if skip[k] {
 			continue
 		}
-		used[k] = true
-		recs = append(recs, rec)
+		skip[k] = true
+		seedFn(rec)
 	}
-	return recs, used
 }
 
 // pendingJobs is the campaign's static job list minus the slots already on

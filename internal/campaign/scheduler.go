@@ -203,19 +203,28 @@ func (r *Runner) Run() (*ResultSet, error) { return r.RunContext(context.Backgro
 // and dead engines are replaced, so one lost backend costs a re-dispatch,
 // not the campaign.
 func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
-	resumed, skip := r.resumeState()
-	jobs := r.pendingJobs(skip)
-
-	sess, err := r.newRunSession(len(jobs))
-	if err != nil {
-		return nil, err
-	}
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	// A broken sink cancels dispatch: finishing thousands of episodes whose
 	// streamed records are being dropped would be pure waste.
-	pipe := newSinkPipeline(r.cells, r.sinkLanes(), !r.cfg.DiscardRecords, sess.parallelism,
-		func(err error) { cancel(err) }, r.cfg.Progress, r.cfg.ProgressV2, resumed)
+	pipe := newSinkPipeline(r.cells, r.sinkLanes(), !r.cfg.DiscardRecords,
+		func(err error) { cancel(err) }, r.cfg.Progress, r.cfg.ProgressV2)
+	// Resume records stream through the pipeline's seed one at a time —
+	// only their slot keys are retained here — before the shard goroutines
+	// take ownership of the builders.
+	skip, err := r.seedResume(pipe.seed)
+	if err != nil {
+		pipe.abandon()
+		return nil, err
+	}
+	jobs := r.pendingJobs(skip)
+
+	sess, err := r.newRunSession(len(jobs))
+	if err != nil {
+		pipe.abandon()
+		return nil, err
+	}
+	pipe.start(sess.parallelism)
 	sess.runJobs(ctx, cancel, jobs, pipe.consume)
 
 	poolStats, engineAgg := sess.pool.snapshot()

@@ -73,6 +73,7 @@ type sinkPipeline struct {
 	builders map[string]*metrics.ReportBuilder // each written by one shard
 	keep     bool
 	seeded   []metrics.EpisodeRecord // resumed records retained for finish
+	started  bool                    // start ran: shard goroutines own the builders
 
 	mu         sync.Mutex
 	err        error
@@ -92,20 +93,18 @@ type sinkShard struct {
 	records []metrics.EpisodeRecord
 }
 
-// newSinkPipeline starts one aggregation goroutine per sink (a single
-// sink-less shard when sinks is empty). keep retains records for
-// ResultSet.Records; buffer sizes each hand-off channel; onErr (may be
-// nil) is notified of the first sink failure so the caller can stop
-// dispatching episodes whose streamed records would be lost; progress and
-// progressV2 (either may be nil) see each cell's running aggregate as
-// episodes land — from the cell's owning shard goroutine, so updates for
-// one cell are ordered but different cells may report concurrently. seed
-// pre-folds records resumed from a prior partial run: they count in
-// reports and retention but are not re-sent to any sink and fire no
-// progress hooks (they are not this run's work).
-func newSinkPipeline(cells []runCell, sinks []RecordSink, keep bool, buffer int,
+// newSinkPipeline builds one aggregation shard per sink (a single
+// sink-less shard when sinks is empty) but does not start it: the caller
+// may stream resume records through seed first, then calls start. keep
+// retains records for ResultSet.Records; onErr (may be nil) is notified of
+// the first sink failure so the caller can stop dispatching episodes whose
+// streamed records would be lost; progress and progressV2 (either may be
+// nil) see each cell's running aggregate as episodes land — from the
+// cell's owning shard goroutine, so updates for one cell are ordered but
+// different cells may report concurrently.
+func newSinkPipeline(cells []runCell, sinks []RecordSink, keep bool,
 	onErr func(error), progress func(string, int, float64, float64),
-	progressV2 func(CellProgress), seed []metrics.EpisodeRecord) *sinkPipeline {
+	progressV2 func(CellProgress)) *sinkPipeline {
 	p := &sinkPipeline{
 		cells:      cells,
 		builders:   make(map[string]*metrics.ReportBuilder, len(cells)),
@@ -121,7 +120,6 @@ func newSinkPipeline(cells []runCell, sinks []RecordSink, keep bool, buffer int,
 	for _, sink := range sinks {
 		p.shards = append(p.shards, &sinkShard{
 			p:    p,
-			ch:   make(chan metrics.EpisodeRecord, buffer),
 			done: make(chan struct{}),
 			sink: sink,
 		})
@@ -134,20 +132,32 @@ func newSinkPipeline(cells []runCell, sinks []RecordSink, keep bool, buffer int,
 			p.route[c.key] = p.shards[len(p.route)%len(p.shards)]
 		}
 	}
-	// Seeding happens before the shard goroutines start: builders and
-	// retention are still exclusively ours.
-	for _, rec := range seed {
-		if b, ok := p.builders[rec.Injector]; ok {
-			b.Add(rec)
-		}
-		if keep {
-			p.seeded = append(p.seeded, rec)
-		}
+	return p
+}
+
+// seed pre-folds one record resumed from a prior partial run: it counts in
+// reports and retention but is never re-sent to any sink and fires no
+// progress hooks (it is not this run's work). Records arrive one at a time
+// from a streaming RecordSource, so resume memory stays O(1) in campaign
+// size unless retention (keep) is on. Must be called before start —
+// builders and retention are still exclusively the caller's.
+func (p *sinkPipeline) seed(rec metrics.EpisodeRecord) {
+	if b, ok := p.builders[rec.Injector]; ok {
+		b.Add(rec)
 	}
+	if p.keep {
+		p.seeded = append(p.seeded, rec)
+	}
+}
+
+// start launches the shard goroutines, handing them ownership of the
+// builders; buffer sizes each hand-off channel. No seed calls may follow.
+func (p *sinkPipeline) start(buffer int) {
+	p.started = true
 	for _, sh := range p.shards {
+		sh.ch = make(chan metrics.EpisodeRecord, buffer)
 		go sh.loop()
 	}
-	return p
 }
 
 // shardFor routes a record to its cell's owning shard. Records for keys
@@ -238,6 +248,12 @@ func (p *sinkPipeline) consume(ctx context.Context, rec metrics.EpisodeRecord) {
 // sink wedged inside a blocking Consume exhausts the grace period and is
 // left behind rather than allowed to hang the aborting campaign.
 func (p *sinkPipeline) abandon() {
+	if !p.started {
+		// An abort before start (resume seeding or pool construction
+		// failed): run the shards against empty channels so each sink is
+		// still closed exactly once, honoring the RecordSink contract.
+		p.start(0)
+	}
 	for _, sh := range p.shards {
 		close(sh.ch)
 	}
@@ -280,13 +296,18 @@ func (p *sinkPipeline) finish() ([]metrics.EpisodeRecord, []metrics.Report, erro
 // schedule-independent order: (column key, mission, repetition).
 func sortRecords(records []metrics.EpisodeRecord) {
 	sort.Slice(records, func(a, b int) bool {
-		ra, rb := records[a], records[b]
-		if ra.Injector != rb.Injector {
-			return ra.Injector < rb.Injector
-		}
-		if ra.Mission != rb.Mission {
-			return ra.Mission < rb.Mission
-		}
-		return ra.Repetition < rb.Repetition
+		return recordLess(records[a], records[b])
 	})
+}
+
+// recordLess is the canonical campaign record order — shared by sorting
+// and the k-way shard merge.
+func recordLess(a, b metrics.EpisodeRecord) bool {
+	if a.Injector != b.Injector {
+		return a.Injector < b.Injector
+	}
+	if a.Mission != b.Mission {
+		return a.Mission < b.Mission
+	}
+	return a.Repetition < b.Repetition
 }

@@ -1,0 +1,116 @@
+// Batched episode dispatch: opening an episode costs one enveloped
+// message per session, so a campaign saturating a remote worker pays one
+// transport send (and, over TCP, one syscall) per episode just to start
+// it. OpenEpisodeBatch coalesces many (session, OpenEpisode) pairs into a
+// single message — the scheduler's group commit — and the capability hello
+// lets a new client discover whether its peer speaks it.
+//
+// Compatibility is one-sided by construction. The hello rides a
+// SessionError enveloped on session 0, which is never allocated (client
+// session IDs start at 1): legacy clients drop messages for unknown
+// sessions on the floor, so a new server announcing the capability is
+// invisible to them, while a new client only batches after it has seen the
+// announcement — against a legacy worker it falls back to single opens
+// automatically. Legacy servers kill the connection on unknown kinds,
+// which is exactly why the client must never probe with the batch message
+// itself.
+
+package proto
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KindOpenEpisodeBatch is client -> server: open many episodes, each on
+// its own session, in one message.
+const KindOpenEpisodeBatch MsgKind = KindEpisodeResult + 1
+
+// MaxBatchOpens bounds one batch on the wire; a count beyond it is stream
+// corruption.
+const MaxBatchOpens = 1 << 10
+
+// CapBatchOpen is the capability token announcing OpenEpisodeBatch
+// support.
+const CapBatchOpen = "batch-open"
+
+// capabilityPrefix opens a capability hello's reason line.
+const capabilityPrefix = "avfi-capabilities:"
+
+// OpenBatchEntry is one episode of a batch: the session to open it on and
+// its scenario.
+type OpenBatchEntry struct {
+	SID  uint32
+	Open *OpenEpisode
+}
+
+// EncodeOpenEpisodeBatch serializes entries with the batch kind tag. Each
+// entry embeds a complete length-prefixed EncodeOpenEpisode message, so
+// OpenEpisode extensions (like WantResult's trailing byte) flow through
+// batches unchanged.
+func EncodeOpenEpisodeBatch(entries []OpenBatchEntry) []byte {
+	buf := make([]byte, 0, 2+2+len(entries)*(4+4+32))
+	buf = append(buf, Version, byte(KindOpenEpisodeBatch))
+	buf = appendUint16(buf, uint16(len(entries)))
+	for _, e := range entries {
+		inner := EncodeOpenEpisode(e.Open)
+		buf = appendUint32(buf, e.SID)
+		buf = appendUint32(buf, uint32(len(inner)))
+		buf = append(buf, inner...)
+	}
+	return buf
+}
+
+// DecodeOpenEpisodeBatch parses an encoded batch.
+func DecodeOpenEpisodeBatch(buf []byte) ([]OpenBatchEntry, error) {
+	if k, err := Kind(buf); err != nil {
+		return nil, err
+	} else if k != KindOpenEpisodeBatch {
+		return nil, fmt.Errorf("%w: kind %d is not an open-episode batch", ErrCodec, k)
+	}
+	r := reader{buf: buf, off: 2}
+	n := int(r.uint16())
+	if n > MaxBatchOpens {
+		return nil, fmt.Errorf("%w: batch of %d opens exceeds limit", ErrCodec, n)
+	}
+	entries := make([]OpenBatchEntry, 0, n)
+	for i := 0; i < n; i++ {
+		sid := r.uint32()
+		innerLen := int(r.uint32())
+		if innerLen > MaxPayload {
+			return nil, fmt.Errorf("%w: batch entry %d: %d-byte open exceeds limit", ErrCodec, i, innerLen)
+		}
+		inner := r.bytes(innerLen)
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: open-episode batch: %v", ErrCodec, r.err)
+		}
+		open, err := DecodeOpenEpisode(inner)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch entry %d: %v", ErrCodec, i, err)
+		}
+		entries = append(entries, OpenBatchEntry{SID: sid, Open: open})
+	}
+	if r.err != nil || r.off != len(buf) {
+		return nil, fmt.Errorf("%w: open-episode batch: malformed", ErrCodec)
+	}
+	return entries, nil
+}
+
+// EncodeCapabilityHello builds the server's capability announcement: a
+// SessionError whose reason is the capability line, to be enveloped on
+// session 0 by the caller. Riding an existing message kind keeps the hello
+// decodable (and ignorable) by every legacy client.
+func EncodeCapabilityHello(caps ...string) []byte {
+	return EncodeSessionError(&SessionError{Reason: capabilityPrefix + " " + strings.Join(caps, " ")})
+}
+
+// ParseCapabilityHello recognizes a capability line in a session-0
+// SessionError reason, returning the announced tokens. ok is false for
+// ordinary errors.
+func ParseCapabilityHello(reason string) (caps []string, ok bool) {
+	rest, found := strings.CutPrefix(reason, capabilityPrefix)
+	if !found {
+		return nil, false
+	}
+	return strings.Fields(rest), true
+}

@@ -134,7 +134,8 @@ func Kind(buf []byte) (MsgKind, error) {
 	k := MsgKind(buf[1])
 	switch k {
 	case KindSensorFrame, KindControl, KindEpisodeEnd,
-		KindEnvelope, KindOpenEpisode, KindSessionError, KindEpisodeResult:
+		KindEnvelope, KindOpenEpisode, KindSessionError, KindEpisodeResult,
+		KindOpenEpisodeBatch:
 		return k, nil
 	}
 	return KindInvalid, fmt.Errorf("%w: unknown kind %d", ErrCodec, buf[1])

@@ -1,0 +1,137 @@
+package simclient
+
+import (
+	"testing"
+
+	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/transport"
+)
+
+// queueOpens constructs a client whose send loop has not started yet, with
+// n opens already queued — the deterministic way to exercise coalescing
+// (no races against the drain).
+func queueOpens(conn transport.Conn, n int, batchMax int, capSeen bool) (*Client, []*openReq) {
+	c := &Client{
+		conn:     conn,
+		sessions: make(map[uint32]*session),
+		openCh:   make(chan *openReq, 256),
+		done:     make(chan struct{}),
+		batchMax: batchMax,
+		batchCap: capSeen,
+	}
+	reqs := make([]*openReq, n)
+	for i := range reqs {
+		reqs[i] = &openReq{
+			sid:  uint32(i + 1),
+			open: &proto.OpenEpisode{Seed: uint64(i + 1), TimeoutSec: 1},
+			errc: make(chan error, 1),
+		}
+		c.openCh <- reqs[i]
+	}
+	return c, reqs
+}
+
+// TestSendLoopCoalescesQueuedOpens: opens queued while the send loop was
+// busy go out as one OpenEpisodeBatch — group commit, no artificial delay.
+func TestSendLoopCoalescesQueuedOpens(t *testing.T) {
+	clientEnd, serverEnd := transport.Pipe()
+	defer clientEnd.Close()
+	c, reqs := queueOpens(clientEnd, 3, 8, true)
+	go c.sendLoop()
+	defer close(c.done)
+
+	msg, err := serverEnd.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, inner, err := proto.DecodeEnvelope(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != 0 {
+		t.Fatalf("batch envelope sid = %d, want 0", sid)
+	}
+	entries, err := proto.DecodeOpenEpisodeBatch(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("batch carried %d opens, want 3", len(entries))
+	}
+	for i, e := range entries {
+		if e.SID != reqs[i].sid || e.Open.Seed != reqs[i].open.Seed {
+			t.Errorf("entry %d = sid %d seed %d, want sid %d seed %d",
+				i, e.SID, e.Open.Seed, reqs[i].sid, reqs[i].open.Seed)
+		}
+	}
+	for i, r := range reqs {
+		if err := <-r.errc; err != nil {
+			t.Errorf("open %d reported %v", i, err)
+		}
+	}
+	if c.OpenBatches() != 1 || c.BatchedOpens() != 3 {
+		t.Errorf("counters = %d batches / %d opens, want 1 / 3", c.OpenBatches(), c.BatchedOpens())
+	}
+}
+
+// TestSendLoopSingleOpenStaysLegacy: a batch of one is sent as a plain
+// single-open envelope, indistinguishable from an unbatched client.
+func TestSendLoopSingleOpenStaysLegacy(t *testing.T) {
+	clientEnd, serverEnd := transport.Pipe()
+	defer clientEnd.Close()
+	c, reqs := queueOpens(clientEnd, 1, 8, true)
+	go c.sendLoop()
+	defer close(c.done)
+
+	msg, err := serverEnd.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, inner, err := proto.DecodeEnvelope(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != reqs[0].sid {
+		t.Errorf("envelope sid = %d, want %d", sid, reqs[0].sid)
+	}
+	if kind, _ := proto.Kind(inner); kind != proto.KindOpenEpisode {
+		t.Errorf("lone open sent as kind %d, want KindOpenEpisode", kind)
+	}
+	if err := <-reqs[0].errc; err != nil {
+		t.Fatal(err)
+	}
+	if c.OpenBatches() != 0 {
+		t.Errorf("lone open counted as a batch")
+	}
+}
+
+// TestSendLoopSinglesBeforeHello: until the server announces the batch
+// capability, every queued open goes out as a legacy single envelope —
+// the no-probe fallback that keeps old workers working.
+func TestSendLoopSinglesBeforeHello(t *testing.T) {
+	clientEnd, serverEnd := transport.Pipe()
+	defer clientEnd.Close()
+	c, reqs := queueOpens(clientEnd, 3, 8, false)
+	go c.sendLoop()
+	defer close(c.done)
+
+	for i := range reqs {
+		msg, err := serverEnd.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sid, inner, err := proto.DecodeEnvelope(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sid != reqs[i].sid {
+			t.Errorf("open %d envelope sid = %d, want %d", i, sid, reqs[i].sid)
+		}
+		if kind, _ := proto.Kind(inner); kind != proto.KindOpenEpisode {
+			t.Errorf("pre-hello open %d sent as kind %d, want KindOpenEpisode", i, kind)
+		}
+	}
+	if c.OpenBatches() != 0 || c.BatchedOpens() != 0 {
+		t.Errorf("pre-hello opens counted as batched (%d/%d)", c.OpenBatches(), c.BatchedOpens())
+	}
+}

@@ -46,15 +46,28 @@ type session struct {
 type Client struct {
 	conn transport.Conn
 
-	mu        sync.Mutex
-	next      uint32
-	sessions  map[uint32]*session
-	err       error
-	completed int
-	failed    int
-	maxOpen   int
+	mu           sync.Mutex
+	next         uint32
+	sessions     map[uint32]*session
+	err          error
+	completed    int
+	failed       int
+	maxOpen      int
+	batchMax     int  // SetBatchOpens bound; <= 1 means batching is off
+	batchCap     bool // peer announced OpenEpisodeBatch support
+	openBatches  int
+	batchedOpens int
 
-	done chan struct{}
+	openCh chan *openReq
+	done   chan struct{}
+}
+
+// openReq is one episode open queued for the coalescing send loop; errc
+// (buffered) carries the send's outcome back to the episode goroutine.
+type openReq struct {
+	sid  uint32
+	open *proto.OpenEpisode
+	errc chan error
 }
 
 // NewClient wraps a connection and starts the demultiplexing receive loop.
@@ -64,9 +77,11 @@ func NewClient(conn transport.Conn) *Client {
 	c := &Client{
 		conn:     conn,
 		sessions: make(map[uint32]*session),
+		openCh:   make(chan *openReq, 256),
 		done:     make(chan struct{}),
 	}
 	go c.recvLoop()
+	go c.sendLoop()
 	return c
 }
 
@@ -87,6 +102,19 @@ func (c *Client) recvLoop() {
 		if err != nil {
 			loopErr = err
 			break
+		}
+		if sid == 0 {
+			// Session 0 is never allocated (IDs start at 1): it carries the
+			// server's capability hello, and anything else on it is dropped —
+			// which is also exactly what legacy clients do with the hello.
+			if kind, err := proto.Kind(inner); err == nil && kind == proto.KindSessionError {
+				if se, err := proto.DecodeSessionError(inner); err == nil {
+					if caps, ok := proto.ParseCapabilityHello(se.Reason); ok {
+						c.noteCapabilities(caps)
+					}
+				}
+			}
+			continue
 		}
 		c.mu.Lock()
 		s, ok := c.sessions[sid]
@@ -174,6 +202,156 @@ func (c *Client) noteFailed() {
 	c.mu.Unlock()
 }
 
+// noteCapabilities records the server's capability hello.
+func (c *Client) noteCapabilities(caps []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, token := range caps {
+		if token == proto.CapBatchOpen {
+			c.batchCap = true
+		}
+	}
+}
+
+// SetBatchOpens lets the client coalesce up to n concurrent episode opens
+// into one OpenEpisodeBatch message — the campaign pool's group commit for
+// remote dispatch. n <= 1 (the default) disables batching. Batching only
+// engages once the server has announced the capability; until then — and
+// forever against a legacy worker, which never announces it — every open
+// is sent as a legacy single-open envelope, so the fallback needs no
+// probing. Values beyond proto.MaxBatchOpens are clamped.
+func (c *Client) SetBatchOpens(n int) {
+	if n > proto.MaxBatchOpens {
+		n = proto.MaxBatchOpens
+	}
+	c.mu.Lock()
+	c.batchMax = n
+	c.mu.Unlock()
+}
+
+// OpenBatches reports how many OpenEpisodeBatch messages the client has
+// sent; BatchedOpens how many episode opens rode them. Singly-sent opens
+// count in neither.
+func (c *Client) OpenBatches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.openBatches
+}
+
+// BatchedOpens reports how many episode opens were coalesced into batch
+// messages.
+func (c *Client) BatchedOpens() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batchedOpens
+}
+
+// batchEnabled reports whether opens should route through the coalescing
+// send loop at all; batchLimit the effective coalescing bound right now
+// (1 until the server's hello lands).
+func (c *Client) batchEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batchMax > 1
+}
+
+func (c *Client) batchLimit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.batchCap || c.batchMax < 1 {
+		return 1
+	}
+	return c.batchMax
+}
+
+// closedErr is the terminal error for work racing the client's shutdown.
+func (c *Client) closedErr() error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	return ErrClientClosed
+}
+
+// sendOpen dispatches one episode open: directly when batching is off,
+// else through the coalescing send loop.
+func (c *Client) sendOpen(sid uint32, open *proto.OpenEpisode) error {
+	if !c.batchEnabled() {
+		return c.conn.Send(proto.EncodeEnvelope(sid, proto.EncodeOpenEpisode(open)))
+	}
+	req := &openReq{sid: sid, open: open, errc: make(chan error, 1)}
+	select {
+	case c.openCh <- req:
+	case <-c.done:
+		return c.closedErr()
+	}
+	select {
+	case err := <-req.errc:
+		return err
+	case <-c.done:
+		// The send loop may have picked the request up just before the
+		// shutdown; prefer its verdict when one is already waiting.
+		select {
+		case err := <-req.errc:
+			return err
+		default:
+			return c.closedErr()
+		}
+	}
+}
+
+// sendLoop is the open coalescer: it waits for one open, then drains —
+// without blocking, so an open is never delayed waiting for company —
+// whatever other opens the worker pool has already queued, up to the batch
+// limit, and sends them as one OpenEpisodeBatch. A batch of one goes out
+// as a legacy single-open envelope, so pre-hello and legacy-server traffic
+// is byte-identical to an unbatched client's.
+func (c *Client) sendLoop() {
+	for {
+		select {
+		case <-c.done:
+			// Fail opens that raced the shutdown.
+			for {
+				select {
+				case req := <-c.openCh:
+					req.errc <- c.closedErr()
+				default:
+					return
+				}
+			}
+		case req := <-c.openCh:
+			batch := append(make([]*openReq, 0, 8), req)
+			if limit := c.batchLimit(); limit > 1 {
+			drain:
+				for len(batch) < limit {
+					select {
+					case more := <-c.openCh:
+						batch = append(batch, more)
+					default:
+						break drain
+					}
+				}
+			}
+			var err error
+			if len(batch) == 1 {
+				err = c.conn.Send(proto.EncodeEnvelope(req.sid, proto.EncodeOpenEpisode(req.open)))
+			} else {
+				entries := make([]proto.OpenBatchEntry, len(batch))
+				for i, r := range batch {
+					entries[i] = proto.OpenBatchEntry{SID: r.sid, Open: r.open}
+				}
+				err = c.conn.Send(proto.EncodeEnvelope(0, proto.EncodeOpenEpisodeBatch(entries)))
+				c.mu.Lock()
+				c.openBatches++
+				c.batchedOpens += len(batch)
+				c.mu.Unlock()
+			}
+			for _, r := range batch {
+				r.errc <- err
+			}
+		}
+	}
+}
+
 // register allocates a session ID and its demux entry.
 func (c *Client) register() (uint32, *session) {
 	c.mu.Lock()
@@ -229,7 +407,7 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 	defer c.unregister(sid)
 	var result *proto.EpisodeResult
 
-	if err := c.conn.Send(proto.EncodeEnvelope(sid, proto.EncodeOpenEpisode(open))); err != nil {
+	if err := c.sendOpen(sid, open); err != nil {
 		return sid, nil, nil, fmt.Errorf("simclient: session %d: open: %w", sid, err)
 	}
 	d.Reset()

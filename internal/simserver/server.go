@@ -53,10 +53,16 @@ func NewServer(factory EpisodeFactory) *Server {
 }
 
 // Serve multiplexes episodes over conn until the peer closes it. Every
-// received envelope either opens a session (KindOpenEpisode) or routes a
-// control to its session goroutine. Serve returns nil on a clean shutdown
-// (peer closed the connection) after all in-flight sessions drain.
+// received envelope either opens sessions (KindOpenEpisode, or many at
+// once via KindOpenEpisodeBatch) or routes a control to its session
+// goroutine. Serve returns nil on a clean shutdown (peer closed the
+// connection) after all in-flight sessions drain.
 func (s *Server) Serve(conn transport.Conn) error {
+	// Announce capabilities on session 0 — never allocated, so legacy
+	// clients drop the hello unread while new ones turn on batched opens.
+	// A send failure here means the connection is already dead; the demux
+	// loop's first Recv reports it.
+	_ = conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(proto.CapBatchOpen)))
 	err := s.demux(conn)
 	// Unblock any session still waiting for a control (the peer is gone),
 	// then drain the episode goroutines.
@@ -100,6 +106,20 @@ func (s *Server) demux(conn transport.Conn) error {
 			}
 			if err := s.open(conn, sid, open); err != nil {
 				return err
+			}
+
+		case proto.KindOpenEpisodeBatch:
+			// One group-committed message fans out into ordinary sessions:
+			// past this point a batched episode is indistinguishable from a
+			// singly-opened one.
+			entries, err := proto.DecodeOpenEpisodeBatch(inner)
+			if err != nil {
+				return fmt.Errorf("simserver: batch: %w", err)
+			}
+			for _, e := range entries {
+				if err := s.open(conn, e.SID, e.Open); err != nil {
+					return err
+				}
 			}
 
 		case proto.KindControl:

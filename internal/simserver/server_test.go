@@ -61,15 +61,24 @@ func TestTwoSessionsInterleaved(t *testing.T) {
 	}
 
 	// recvEnvelope returns the next message, asserting protocol validity.
+	// Session-0 traffic (the capability hello) is dropped, exactly as a
+	// legacy client's demux would.
 	recvEnvelope := func() (uint32, proto.MsgKind, []byte) {
 		t.Helper()
-		msg, err := clientConn.Recv()
-		if err != nil {
-			t.Fatal(err)
-		}
-		sid, inner, err := proto.DecodeEnvelope(msg)
-		if err != nil {
-			t.Fatal(err)
+		var sid uint32
+		var inner []byte
+		for {
+			msg, err := clientConn.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sid, inner, err = proto.DecodeEnvelope(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sid != 0 {
+				break
+			}
 		}
 		if sid != sidA && sid != sidB {
 			t.Fatalf("message for unopened session %d", sid)
@@ -307,8 +316,16 @@ func TestServeHealthAccessors(t *testing.T) {
 	if err := clientConn.Send(proto.EncodeEnvelope(1, proto.EncodeOpenEpisode(&proto.OpenEpisode{Seed: 666}))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := clientConn.Recv(); err != nil { // the SessionError reply
-		t.Fatal(err)
+	// Wait for the SessionError reply, dropping the session-0 capability
+	// hello like a legacy client's demux would.
+	for {
+		msg, err := clientConn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sid, _, err := proto.DecodeEnvelope(msg); err == nil && sid != 0 {
+			break
+		}
 	}
 	if got := srv.FailedSessions(); got != 1 {
 		t.Errorf("FailedSessions = %d after factory abort, want 1", got)
@@ -354,14 +371,25 @@ func TestDemuxControlOverflowDropsSession(t *testing.T) {
 	}
 
 	// The peer is told its session died — no silent drop that would leave
-	// a client episode loop waiting forever.
-	reply, err := clientConn.Recv()
-	if err != nil {
-		t.Fatal(err)
+	// a client episode loop waiting forever. (Session-0 hello traffic is
+	// dropped first, as any legacy client would.)
+	var sid uint32
+	var inner []byte
+	for {
+		reply, err := clientConn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sid, inner, err = proto.DecodeEnvelope(reply)
+		if err != nil {
+			t.Fatalf("reply envelope err=%v", err)
+		}
+		if sid != 0 {
+			break
+		}
 	}
-	sid, inner, err := proto.DecodeEnvelope(reply)
-	if err != nil || sid != 99 {
-		t.Fatalf("reply envelope sid=%d err=%v, want sid=99", sid, err)
+	if sid != 99 {
+		t.Fatalf("reply envelope sid=%d, want sid=99", sid)
 	}
 	if kind, err := proto.Kind(inner); err != nil || kind != proto.KindSessionError {
 		t.Fatalf("reply kind=%v err=%v, want SessionError", kind, err)
