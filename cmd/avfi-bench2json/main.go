@@ -13,7 +13,8 @@
 //
 // With -baseline, the run also acts as a perf regression gate: every
 // baseline benchmark whose name matches -match must appear in the current
-// run with an episodes/sec figure no more than -max-regress percent below
+// run with a throughput figure (episodes/sec for campaign benchmarks,
+// frames/sec for frame-path ones) no more than -max-regress percent below
 // the baseline's, or the command exits nonzero (after writing the JSON,
 // so the artifact survives for diagnosis). GOMAXPROCS name suffixes are
 // normalized away, so a baseline recorded on one core count compares
@@ -56,8 +57,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	baselinePath := fs.String("baseline", "",
 		"committed BenchResult JSON to gate against; absent = no perf gate")
 	maxRegress := fs.Float64("max-regress", 20,
-		"max tolerated episodes/sec drop below -baseline, in percent")
-	match := fs.String("match", "^BenchmarkCampaignPool/remote",
+		"max tolerated throughput drop below -baseline, in percent")
+	match := fs.String("match", "^Benchmark(CampaignPool/remote|FrameRoundTrip)",
 		"regexp selecting the baseline-gated benchmark names")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,19 +115,32 @@ func procsSuffix(results []BenchResult) string {
 	return suffix
 }
 
-// checkRegressions is the perf gate: every baseline benchmark matching re
-// must be present in the current run, and its episodes/sec must not sit
-// more than maxRegress percent below the baseline figure. All failures are
-// reported at once — a regression across the board should read as such,
-// not as one benchmark at a time.
-func checkRegressions(current, baseline []BenchResult, re *regexp.Regexp, maxRegress float64) error {
-	const metric = "episodes/sec"
-	curSuffix, baseSuffix := procsSuffix(current), procsSuffix(baseline)
-	cur := make(map[string]float64, len(current))
-	for _, r := range current {
-		if v, ok := r.Metrics[metric]; ok {
-			cur[strings.TrimSuffix(r.Name, curSuffix)] = v
+// throughputMetrics are the per-benchmark figures the gate understands,
+// in lookup order. Each gated benchmark is compared on the first of these
+// its baseline entry reports — campaign benchmarks carry episodes/sec,
+// frame-path benchmarks frames/sec.
+var throughputMetrics = []string{"episodes/sec", "frames/sec"}
+
+// throughput picks a benchmark's gated figure, if it reports one.
+func throughput(r BenchResult) (string, float64, bool) {
+	for _, m := range throughputMetrics {
+		if v, ok := r.Metrics[m]; ok && v > 0 {
+			return m, v, true
 		}
+	}
+	return "", 0, false
+}
+
+// checkRegressions is the perf gate: every baseline benchmark matching re
+// must be present in the current run, and its throughput metric must not
+// sit more than maxRegress percent below the baseline figure. All failures
+// are reported at once — a regression across the board should read as
+// such, not as one benchmark at a time.
+func checkRegressions(current, baseline []BenchResult, re *regexp.Regexp, maxRegress float64) error {
+	curSuffix, baseSuffix := procsSuffix(current), procsSuffix(baseline)
+	cur := make(map[string]BenchResult, len(current))
+	for _, r := range current {
+		cur[strings.TrimSuffix(r.Name, curSuffix)] = r
 	}
 	var failures []string
 	gated := 0
@@ -135,14 +149,19 @@ func checkRegressions(current, baseline []BenchResult, re *regexp.Regexp, maxReg
 		if !re.MatchString(name) {
 			continue
 		}
-		base, ok := b.Metrics[metric]
-		if !ok || base <= 0 {
+		metric, base, ok := throughput(b)
+		if !ok {
 			continue
 		}
 		gated++
-		got, ok := cur[name]
+		r, ok := cur[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", name))
+			continue
+		}
+		got, ok := r.Metrics[metric]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: this run reports no %s", name, metric))
 			continue
 		}
 		drop := (base - got) / base * 100
@@ -156,7 +175,7 @@ func checkRegressions(current, baseline []BenchResult, re *regexp.Regexp, maxReg
 		}
 	}
 	if gated == 0 {
-		return fmt.Errorf("baseline has no %s benchmarks matching %v — gate is vacuous", metric, re)
+		return fmt.Errorf("baseline has no throughput benchmarks matching %v — gate is vacuous", re)
 	}
 	if failures != nil {
 		return fmt.Errorf("perf regression vs baseline:\n  %s", strings.Join(failures, "\n  "))

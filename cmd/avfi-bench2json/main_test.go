@@ -172,6 +172,31 @@ func TestBaselineGateFailsOnMissingBenchmark(t *testing.T) {
 	}
 }
 
+// TestBaselineGateFramesPerSec: frame-path benchmarks gate on frames/sec
+// the way campaign benchmarks gate on episodes/sec, from the same
+// baseline document and under the default -match.
+func TestBaselineGateFramesPerSec(t *testing.T) {
+	const frameBench = `BenchmarkCampaignPool/remote-4-8   2  128849302 ns/op  124.17 episodes/sec
+BenchmarkFrameRoundTrip/delta-8    9000  111111 ns/op  9000 frames/sec  700 wire-B/frame
+PASS
+`
+	baseline := append(remoteBaseline(100), BenchResult{
+		Name: "BenchmarkFrameRoundTrip/delta-4", Iterations: 1,
+		Metrics: map[string]float64{"frames/sec": 10000}})
+	path := writeBaseline(t, baseline)
+	// 9000 frames/sec is 10% below the 10000 baseline: inside tolerance.
+	if err := run([]string{"-baseline", path}, strings.NewReader(frameBench), &bytes.Buffer{}); err != nil {
+		t.Fatalf("within-tolerance frames/sec run failed the gate: %v", err)
+	}
+	// Raise the baseline so the same run is a 40% drop: gate must trip.
+	baseline[len(baseline)-1].Metrics["frames/sec"] = 15000
+	path = writeBaseline(t, baseline)
+	err := run([]string{"-baseline", path}, strings.NewReader(frameBench), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "frames/sec") {
+		t.Fatalf("40%% frames/sec drop: err = %v, want frames/sec regression", err)
+	}
+}
+
 // TestBaselineGateRejectsVacuousBaseline: a baseline whose entries never
 // match the gate regexp means the gate guards nothing — that is a
 // configuration error, not a pass.

@@ -122,6 +122,7 @@ func run(ctx context.Context) error {
 		recordFmt  = flag.String("record-format", "auto", "record log format for -stream-records: jsonl|binary (auto = binary for a fresh run, the existing log's format when appending)")
 		serveAddr  = flag.String("serve", "", "run as a simulator worker on this address (e.g. :7070) instead of a campaign")
 		backends   = flag.String("backends", "", "comma-separated remote worker addresses; the campaign dials these instead of spawning in-process engines")
+		fullFrames = flag.Bool("full-frames", false, "disable delta-encoded sensor frames (diagnostic; results are bit-identical either way)")
 	)
 	flag.Parse()
 
@@ -184,7 +185,7 @@ func run(ctx context.Context) error {
 		Weather:        w,
 		UseTCP:         *useTCP,
 		Parallelism:    *parallel,
-		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries, Backends: backendList},
+		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries, Backends: backendList, FullFrames: *fullFrames},
 		Seed:           *seed,
 	}
 	var resumeCount int

@@ -43,6 +43,14 @@ type PoolConfig struct {
 	// single opens; it never changes episode results, only message
 	// framing.
 	BatchOpens int
+	// FullFrames keeps every sensor frame a full keyframe by disabling the
+	// delta-frame capability on the pool's engine clients. The default
+	// (false) lets capable servers delta-encode the frame stream — the wire
+	// shrinks, the decoded frames do not: reconstruction is byte-exact, so
+	// campaign results are bit-identical either way (pinned by the
+	// determinism matrix test). A diagnostic escape hatch, not a tuning
+	// knob.
+	FullFrames bool
 }
 
 // defaultBatchOpens is the auto (BatchOpens = 0) coalescing bound for
@@ -175,6 +183,7 @@ func (r *Runner) startEngine() (*engine, error) {
 	go func() { eng.serveCh <- eng.server.Serve(eng.serverConn) }()
 	eng.client = simclient.NewClient(clientConn)
 	eng.client.SetBatchOpens(r.cfg.Pool.batchLimit(false))
+	eng.client.SetDeltaFrames(!r.cfg.Pool.FullFrames)
 	return eng, nil
 }
 
@@ -198,6 +207,7 @@ func (r *Runner) dialBackend() (*engine, error) {
 	}
 	client := simclient.NewClient(conn)
 	client.SetBatchOpens(r.cfg.Pool.batchLimit(true))
+	client.SetDeltaFrames(!r.cfg.Pool.FullFrames)
 	return &engine{
 		transport: "remote",
 		backend:   addr,

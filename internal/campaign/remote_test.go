@@ -236,12 +236,18 @@ func TestDistributedDeterminismMatrix(t *testing.T) {
 	type variant struct {
 		name   string
 		remote bool
-		shard  int // shard sinks; 0 = single collect sink
+		shard  int  // shard sinks; 0 = single collect sink
+		full   bool // disable delta frames (the baseline runs with them on)
 	}
 	variants := []variant{
-		{"remote", true, 0},
-		{"sharded-sink", false, 3},
-		{"remote+sharded", true, 3},
+		{"remote", true, 0, false},
+		{"sharded-sink", false, 3, false},
+		{"remote+sharded", true, 3, false},
+		// The frame-encoding axis: delta-encoded and full-frame transports
+		// must be indistinguishable in every result bit, in-process and
+		// remote alike (the baseline negotiates deltas; these refuse them).
+		{"full-frames", false, 0, true},
+		{"remote+full-frames", true, 0, true},
 	}
 
 	configure := func(v variant) (Config, []*collectSink) {
@@ -249,6 +255,7 @@ func TestDistributedDeterminismMatrix(t *testing.T) {
 		if v.remote {
 			cfg.Pool = PoolConfig{Backends: addrs, MaxRetries: 2}
 		}
+		cfg.Pool.FullFrames = v.full
 		var sinks []*collectSink
 		if v.shard > 0 {
 			for i := 0; i < v.shard; i++ {

@@ -80,11 +80,17 @@ type EpisodeEnd struct {
 	DistanceM float64
 }
 
-// EncodeSensorFrame serializes f with its kind tag.
-func EncodeSensorFrame(f *SensorFrame) []byte {
-	n := 1 + 1 + 4 + 8 + 2 + 2 + 4 + len(f.Pixels) + 8 + 8 + 8 + 2 + 8*len(f.Lidar) + 1 + 1 + 1
-	buf := make([]byte, 0, n)
-	buf = append(buf, Version, byte(KindSensorFrame))
+// SensorFrameSize is the exact encoded size of f — the capacity to
+// reserve so AppendSensorFrame never grows the buffer.
+func SensorFrameSize(f *SensorFrame) int {
+	return 1 + 1 + 4 + 8 + 2 + 2 + 4 + len(f.Pixels) + 8 + 8 + 8 + 2 + 8*len(f.Lidar) + 1 + 1 + 1
+}
+
+// AppendSensorFrame appends f's encoding (kind tag included) to dst and
+// returns the extended buffer — the allocation-free variant of
+// EncodeSensorFrame for hot frame loops that reuse a send buffer.
+func AppendSensorFrame(dst []byte, f *SensorFrame) []byte {
+	buf := append(dst, Version, byte(KindSensorFrame))
 	buf = binary.BigEndian.AppendUint32(buf, f.Frame)
 	buf = appendFloat(buf, f.TimeSec)
 	buf = binary.BigEndian.AppendUint16(buf, f.ImageW)
@@ -102,15 +108,24 @@ func EncodeSensorFrame(f *SensorFrame) []byte {
 	return buf
 }
 
-// EncodeControl serializes c with its kind tag.
-func EncodeControl(c *Control) []byte {
-	buf := make([]byte, 0, 1+1+4+3*8)
-	buf = append(buf, Version, byte(KindControl))
+// EncodeSensorFrame serializes f with its kind tag.
+func EncodeSensorFrame(f *SensorFrame) []byte {
+	return AppendSensorFrame(make([]byte, 0, SensorFrameSize(f)), f)
+}
+
+// AppendControl appends c's encoding (kind tag included) to dst.
+func AppendControl(dst []byte, c *Control) []byte {
+	buf := append(dst, Version, byte(KindControl))
 	buf = binary.BigEndian.AppendUint32(buf, c.Frame)
 	buf = appendFloat(buf, c.Steer)
 	buf = appendFloat(buf, c.Throttle)
 	buf = appendFloat(buf, c.Brake)
 	return buf
+}
+
+// EncodeControl serializes c with its kind tag.
+func EncodeControl(c *Control) []byte {
+	return AppendControl(make([]byte, 0, 1+1+4+3*8), c)
 }
 
 // EncodeEpisodeEnd serializes e with its kind tag.
@@ -135,7 +150,7 @@ func Kind(buf []byte) (MsgKind, error) {
 	switch k {
 	case KindSensorFrame, KindControl, KindEpisodeEnd,
 		KindEnvelope, KindOpenEpisode, KindSessionError, KindEpisodeResult,
-		KindOpenEpisodeBatch:
+		KindOpenEpisodeBatch, KindSensorFrameDelta:
 		return k, nil
 	}
 	return KindInvalid, fmt.Errorf("%w: unknown kind %d", ErrCodec, buf[1])
@@ -143,44 +158,55 @@ func Kind(buf []byte) (MsgKind, error) {
 
 // DecodeSensorFrame parses an encoded sensor frame.
 func DecodeSensorFrame(buf []byte) (*SensorFrame, error) {
-	if k, err := Kind(buf); err != nil {
+	var f SensorFrame
+	if err := DecodeSensorFrameInto(buf, &f); err != nil {
 		return nil, err
+	}
+	return &f, nil
+}
+
+// DecodeSensorFrameInto parses an encoded sensor frame into f, reusing
+// f's Pixels and Lidar slice capacity — the allocation-free variant of
+// DecodeSensorFrame for hot frame loops that recycle a scratch frame.
+// On error f's contents are unspecified.
+func DecodeSensorFrameInto(buf []byte, f *SensorFrame) error {
+	if k, err := Kind(buf); err != nil {
+		return err
 	} else if k != KindSensorFrame {
-		return nil, fmt.Errorf("%w: kind %d is not a sensor frame", ErrCodec, k)
+		return fmt.Errorf("%w: kind %d is not a sensor frame", ErrCodec, k)
 	}
 	r := reader{buf: buf, off: 2}
-	var f SensorFrame
 	f.Frame = r.uint32()
 	f.TimeSec = r.float()
 	f.ImageW = r.uint16()
 	f.ImageH = r.uint16()
 	pixLen := int(r.uint32())
 	if pixLen > MaxPayload {
-		return nil, fmt.Errorf("%w: pixel payload %d exceeds limit", ErrCodec, pixLen)
+		return fmt.Errorf("%w: pixel payload %d exceeds limit", ErrCodec, pixLen)
 	}
-	f.Pixels = r.bytes(pixLen)
+	f.Pixels = r.appendBytes(f.Pixels[:0], pixLen)
 	f.Speed = r.float()
 	f.GPSX = r.float()
 	f.GPSY = r.float()
+	f.Lidar = f.Lidar[:0]
 	if beams := int(r.uint16()); beams > 0 {
 		if beams > 4096 {
-			return nil, fmt.Errorf("%w: %d lidar beams exceeds limit", ErrCodec, beams)
+			return fmt.Errorf("%w: %d lidar beams exceeds limit", ErrCodec, beams)
 		}
-		f.Lidar = make([]float64, beams)
-		for i := range f.Lidar {
-			f.Lidar[i] = r.float()
+		for i := 0; i < beams; i++ {
+			f.Lidar = append(f.Lidar, r.float())
 		}
 	}
 	f.Command = r.byte()
 	f.Done = r.byte() != 0
 	f.Status = r.byte()
 	if r.err != nil {
-		return nil, fmt.Errorf("%w: sensor frame: %v", ErrCodec, r.err)
+		return fmt.Errorf("%w: sensor frame: %v", ErrCodec, r.err)
 	}
 	if int(f.ImageW)*int(f.ImageH)*3 != len(f.Pixels) {
-		return nil, fmt.Errorf("%w: %dx%d image with %d pixel bytes", ErrCodec, f.ImageW, f.ImageH, len(f.Pixels))
+		return fmt.Errorf("%w: %dx%d image with %d pixel bytes", ErrCodec, f.ImageW, f.ImageH, len(f.Pixels))
 	}
-	return &f, nil
+	return nil
 }
 
 // DecodeControl parses an encoded control command.
@@ -281,6 +307,19 @@ func (r *reader) float() float64 {
 	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
 	r.off += 8
 	return v
+}
+
+func (r *reader) appendBytes(dst []byte, n int) []byte {
+	if n < 0 {
+		r.err = fmt.Errorf("negative length %d", n)
+		return dst
+	}
+	if !r.need(n) {
+		return dst
+	}
+	dst = append(dst, r.buf[r.off:r.off+n]...)
+	r.off += n
+	return dst
 }
 
 func (r *reader) bytes(n int) []byte {

@@ -59,13 +59,28 @@ type SessionError struct {
 	Reason string
 }
 
+// EnvelopeOverhead is the byte cost of enveloping an inner message: the
+// envelope's own version/kind header plus the session ID.
+const EnvelopeOverhead = 2 + 4
+
+// AppendEnvelope appends an envelope wrapping inner to dst — the
+// allocation-free variant of EncodeEnvelope.
+func AppendEnvelope(dst []byte, session uint32, inner []byte) []byte {
+	dst = AppendEnvelopeHeader(dst, session)
+	return append(dst, inner...)
+}
+
+// AppendEnvelopeHeader appends only the envelope framing for session, so
+// hot paths can append the inner message directly behind it (via
+// AppendSensorFrame and friends) without materializing it separately.
+func AppendEnvelopeHeader(dst []byte, session uint32) []byte {
+	dst = append(dst, Version, byte(KindEnvelope))
+	return appendUint32(dst, session)
+}
+
 // EncodeEnvelope wraps an already-encoded inner message with a session ID.
 func EncodeEnvelope(session uint32, inner []byte) []byte {
-	buf := make([]byte, 0, 2+4+len(inner))
-	buf = append(buf, Version, byte(KindEnvelope))
-	buf = appendUint32(buf, session)
-	buf = append(buf, inner...)
-	return buf
+	return AppendEnvelope(make([]byte, 0, EnvelopeOverhead+len(inner)), session, inner)
 }
 
 // DecodeEnvelope unwraps an envelope, returning the session ID and the

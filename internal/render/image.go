@@ -96,11 +96,16 @@ func (im *Image) ToTensor() *tensor.Tensor {
 // matching CARLA's uint8 camera payloads (and giving the hardware fault
 // injector realistic bit widths to flip).
 func (im *Image) ToBytes() []byte {
-	out := make([]byte, len(im.Pix))
-	for i, v := range im.Pix {
-		out[i] = byte(geom.Clamp(v, 0, 1)*255 + 0.5)
+	return im.AppendBytes(make([]byte, 0, len(im.Pix)))
+}
+
+// AppendBytes is ToBytes appending into dst — the allocation-free variant
+// for frame loops that reuse a pixel buffer.
+func (im *Image) AppendBytes(dst []byte) []byte {
+	for _, v := range im.Pix {
+		dst = append(dst, byte(geom.Clamp(v, 0, 1)*255+0.5))
 	}
-	return out
+	return dst
 }
 
 // ImageFromBytes reconstructs an image from ToBytes output.

@@ -31,10 +31,18 @@ func (e *SessionError) Error() string {
 	return fmt.Sprintf("simclient: session %d: server: %s", e.SID, e.Reason)
 }
 
+// inbound is one routed message: the transport buffer it arrived in (so
+// the consuming episode loop can Recycle it once fully decoded) and the
+// enveloped payload within it.
+type inbound struct {
+	msg   []byte
+	inner []byte
+}
+
 // session is one episode's demux entry: data carries routed inner messages,
 // fail carries at most one terminal routing failure (demux overflow).
 type session struct {
-	data chan []byte
+	data chan inbound
 	fail chan error
 }
 
@@ -57,6 +65,10 @@ type Client struct {
 	batchCap     bool // peer announced OpenEpisodeBatch support
 	openBatches  int
 	batchedOpens int
+	deltaWant    bool // SetDeltaFrames: willing to decode delta frames
+	serverDelta  bool // peer announced SensorFrameDelta support
+	helloSent    bool // our capability reply has gone out
+	deltaFrames  int
 
 	openCh chan *openReq
 	done   chan struct{}
@@ -114,6 +126,7 @@ func (c *Client) recvLoop() {
 					}
 				}
 			}
+			transport.Recycle(msg)
 			continue
 		}
 		c.mu.Lock()
@@ -121,10 +134,11 @@ func (c *Client) recvLoop() {
 		c.mu.Unlock()
 		if !ok {
 			// Session abandoned (its RunEpisode already returned an error).
+			transport.Recycle(msg)
 			continue
 		}
 		select {
-		case s.data <- inner:
+		case s.data <- inbound{msg: msg, inner: inner}:
 		default:
 			// The episode protocol is strictly request/response, so an
 			// overflowing buffer means this session is broken or its driver
@@ -134,6 +148,7 @@ func (c *Client) recvLoop() {
 			default:
 			}
 			c.unregister(sid)
+			transport.Recycle(msg)
 		}
 	}
 	c.mu.Lock()
@@ -202,15 +217,68 @@ func (c *Client) noteFailed() {
 	c.mu.Unlock()
 }
 
-// noteCapabilities records the server's capability hello.
+// noteCapabilities records the server's capability hello, answering with
+// our own when delta decoding is both wanted locally and offered by the
+// peer — the only condition under which a client may write to session 0
+// (a legacy server would kill the connection on it, but a legacy server
+// also never announces, so it never receives the reply).
 func (c *Client) noteCapabilities(caps []string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, token := range caps {
-		if token == proto.CapBatchOpen {
+		switch token {
+		case proto.CapBatchOpen:
 			c.batchCap = true
+		case proto.CapDeltaFrame:
+			c.serverDelta = true
 		}
 	}
+	reply := c.deltaWant && c.serverDelta && !c.helloSent
+	if reply {
+		c.helloSent = true
+	}
+	c.mu.Unlock()
+	if reply {
+		_ = c.conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(proto.CapDeltaFrame)))
+	}
+}
+
+// SetDeltaFrames lets the server delta-encode this client's sensor frames
+// (campaign pools enable it unless configured for full frames). Like
+// batching, the switch only engages against a capable server: the client
+// announces its decode support in reply to the server's hello, so a
+// legacy server — which never announces — keeps receiving nothing on
+// session 0 and keeps sending full frames. Enable before running
+// episodes; the announcement cannot be withdrawn once sent.
+func (c *Client) SetDeltaFrames(on bool) {
+	c.mu.Lock()
+	c.deltaWant = on
+	reply := on && c.serverDelta && !c.helloSent
+	if reply {
+		c.helloSent = true
+	}
+	c.mu.Unlock()
+	if reply {
+		_ = c.conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(proto.CapDeltaFrame)))
+	}
+}
+
+// DeltaFrames reports how many sensor frames arrived delta-encoded across
+// finished episodes — zero against a legacy server or when delta frames
+// were never enabled.
+func (c *Client) DeltaFrames() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deltaFrames
+}
+
+// noteDeltas accumulates one episode's delta-frame count.
+func (c *Client) noteDeltas(n int) {
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.deltaFrames += n
+	c.mu.Unlock()
 }
 
 // SetBatchOpens lets the client coalesce up to n concurrent episode opens
@@ -247,21 +315,28 @@ func (c *Client) BatchedOpens() int {
 }
 
 // batchEnabled reports whether opens should route through the coalescing
-// send loop at all; batchLimit the effective coalescing bound right now
-// (1 until the server's hello lands).
+// send loop at all; drainLimit the coalescing bound, and protoBatch
+// whether drained opens may ride one OpenEpisodeBatch message (server
+// capability seen) or must stay individual envelopes flushed together.
 func (c *Client) batchEnabled() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.batchMax > 1
 }
 
-func (c *Client) batchLimit() int {
+func (c *Client) drainLimit() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.batchCap || c.batchMax < 1 {
+	if c.batchMax < 1 {
 		return 1
 	}
 	return c.batchMax
+}
+
+func (c *Client) protoBatch() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batchCap
 }
 
 // closedErr is the terminal error for work racing the client's shutdown.
@@ -302,9 +377,13 @@ func (c *Client) sendOpen(sid uint32, open *proto.OpenEpisode) error {
 // sendLoop is the open coalescer: it waits for one open, then drains —
 // without blocking, so an open is never delayed waiting for company —
 // whatever other opens the worker pool has already queued, up to the batch
-// limit, and sends them as one OpenEpisodeBatch. A batch of one goes out
-// as a legacy single-open envelope, so pre-hello and legacy-server traffic
-// is byte-identical to an unbatched client's.
+// limit, and flushes them together. Against a batch-capable server the
+// flush is one OpenEpisodeBatch message; before the hello lands (and
+// forever against a legacy server) it is the individual single-open
+// envelopes pushed through transport.SendBatch — byte-identical on the
+// wire to sequential sends, so the peer cannot tell, but one gathered
+// write instead of one syscall per open. A batch of one goes out as a
+// plain single-open Send either way.
 func (c *Client) sendLoop() {
 	for {
 		select {
@@ -320,7 +399,7 @@ func (c *Client) sendLoop() {
 			}
 		case req := <-c.openCh:
 			batch := append(make([]*openReq, 0, 8), req)
-			if limit := c.batchLimit(); limit > 1 {
+			if limit := c.drainLimit(); limit > 1 {
 			drain:
 				for len(batch) < limit {
 					select {
@@ -332,9 +411,10 @@ func (c *Client) sendLoop() {
 				}
 			}
 			var err error
-			if len(batch) == 1 {
+			switch {
+			case len(batch) == 1:
 				err = c.conn.Send(proto.EncodeEnvelope(req.sid, proto.EncodeOpenEpisode(req.open)))
-			} else {
+			case c.protoBatch():
 				entries := make([]proto.OpenBatchEntry, len(batch))
 				for i, r := range batch {
 					entries[i] = proto.OpenBatchEntry{SID: r.sid, Open: r.open}
@@ -344,6 +424,12 @@ func (c *Client) sendLoop() {
 				c.openBatches++
 				c.batchedOpens += len(batch)
 				c.mu.Unlock()
+			default:
+				msgs := make([][]byte, len(batch))
+				for i, r := range batch {
+					msgs[i] = proto.EncodeEnvelope(r.sid, proto.EncodeOpenEpisode(r.open))
+				}
+				err = c.conn.SendBatch(msgs)
 			}
 			for _, r := range batch {
 				r.errc <- err
@@ -362,7 +448,7 @@ func (c *Client) register() (uint32, *session) {
 		// Deep enough for the final done-frame, the optional full
 		// EpisodeResult, and the trailing EpisodeEnd, which the server
 		// sends back-to-back without an intervening control.
-		data: make(chan []byte, 3),
+		data: make(chan inbound, 3),
 		fail: make(chan error, 1),
 	}
 	c.sessions[sid] = s
@@ -406,22 +492,24 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 	sid, s := c.register()
 	defer c.unregister(sid)
 	var result *proto.EpisodeResult
+	var st episodeStream
+	defer func() { c.noteDeltas(st.dec.Deltas()) }()
 
 	if err := c.sendOpen(sid, open); err != nil {
 		return sid, nil, nil, fmt.Errorf("simclient: session %d: open: %w", sid, err)
 	}
 	d.Reset()
 	for {
-		var inner []byte
+		var in inbound
 		select {
-		case inner = <-s.data:
+		case in = <-s.data:
 		case err := <-s.fail:
 			c.noteFailed()
 			return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 		case <-c.done:
 			// Drain a message that raced the shutdown.
 			select {
-			case inner = <-s.data:
+			case in = <-s.data:
 			default:
 				if err := c.Err(); err != nil {
 					return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
@@ -429,6 +517,7 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, ErrClientClosed)
 			}
 		}
+		inner := in.inner
 		// The session layer adds messages the legacy loop never sees: an
 		// aborted open, and the full result preceding EpisodeEnd.
 		switch kind, err := proto.Kind(inner); {
@@ -444,18 +533,22 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 			if err != nil {
 				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 			}
+			transport.Recycle(in.msg)
 			continue
 		}
-		reply, end, err := episodeStep(inner, d)
+		reply, end, err := st.step(inner, sid, d)
 		if err != nil {
 			return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 		}
+		// Every decoder copies what it keeps, so the transport buffer can
+		// go back to the pool before the reply is even sent.
+		transport.Recycle(in.msg)
 		if end != nil {
 			c.noteCompleted()
 			return sid, result, end, nil
 		}
 		if reply != nil {
-			if err := c.conn.Send(proto.EncodeEnvelope(sid, reply)); err != nil {
+			if err := c.conn.Send(reply); err != nil {
 				return sid, nil, nil, fmt.Errorf("simclient: session %d: send control: %w", sid, err)
 			}
 		}

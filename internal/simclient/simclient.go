@@ -28,12 +28,22 @@ type Driver interface {
 	Reset()
 }
 
-// episodeStep processes one inbound episode message: it returns the
-// encoded control to send back (nil when no reply is due), the final
-// episode summary (nil while the episode runs), or an error. Shared by the
-// legacy single-episode loop and the session Client so the two paths
-// cannot drift apart.
-func episodeStep(msg []byte, d Driver) (reply []byte, end *proto.EpisodeEnd, err error) {
+// episodeStream is one episode's inbound decode state — a stream frame
+// decoder handling full and delta frames alike, plus a reused reply
+// buffer — shared by the legacy single-episode loop and the session
+// Client so the two paths cannot drift apart. The frame handed to the
+// Driver and the returned reply are both scratch, valid only until the
+// next step call.
+type episodeStream struct {
+	dec proto.FrameDecoder
+	buf []byte
+}
+
+// step processes one inbound episode message: it returns the encoded
+// control to send back (nil when no reply is due; wrapped in an envelope
+// for session when session is non-zero), the final episode summary (nil
+// while the episode runs), or an error.
+func (st *episodeStream) step(msg []byte, session uint32, d Driver) (reply []byte, end *proto.EpisodeEnd, err error) {
 	kind, err := proto.Kind(msg)
 	if err != nil {
 		return nil, nil, err
@@ -46,8 +56,8 @@ func episodeStep(msg []byte, d Driver) (reply []byte, end *proto.EpisodeEnd, err
 		}
 		return nil, end, nil
 
-	case proto.KindSensorFrame:
-		frame, err := proto.DecodeSensorFrame(msg)
+	case proto.KindSensorFrame, proto.KindSensorFrameDelta:
+		frame, err := st.dec.Decode(msg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -59,13 +69,18 @@ func episodeStep(msg []byte, d Driver) (reply []byte, end *proto.EpisodeEnd, err
 		if err != nil {
 			return nil, nil, fmt.Errorf("drive frame %d: %w", frame.Frame, err)
 		}
-		out := &proto.Control{
+		out := proto.Control{
 			Frame:    frame.Frame,
 			Steer:    ctl.Steer,
 			Throttle: ctl.Throttle,
 			Brake:    ctl.Brake,
 		}
-		return proto.EncodeControl(out), nil, nil
+		buf := st.buf[:0]
+		if session != 0 {
+			buf = proto.AppendEnvelopeHeader(buf, session)
+		}
+		st.buf = proto.AppendControl(buf, &out)
+		return st.buf, nil, nil
 
 	default:
 		return nil, nil, fmt.Errorf("unexpected message kind %d", kind)
@@ -77,15 +92,17 @@ func episodeStep(msg []byte, d Driver) (reply []byte, end *proto.EpisodeEnd, err
 // episode done. It returns the server's final episode summary.
 func RunEpisode(conn transport.Conn, d Driver) (*proto.EpisodeEnd, error) {
 	d.Reset()
+	var st episodeStream
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
 			return nil, fmt.Errorf("simclient: recv: %w", err)
 		}
-		reply, end, err := episodeStep(msg, d)
+		reply, end, err := st.step(msg, 0, d)
 		if err != nil {
 			return nil, fmt.Errorf("simclient: %w", err)
 		}
+		transport.Recycle(msg)
 		if end != nil {
 			return end, nil
 		}

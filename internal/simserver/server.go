@@ -39,6 +39,10 @@ type Server struct {
 	failed    int
 	serveErr  error
 	served    bool
+	// deltaOK is set when the peer replies to our hello announcing it can
+	// decode delta frames; until then every frame goes out as a keyframe.
+	deltaOK     bool
+	deltaFrames int
 
 	wg sync.WaitGroup
 }
@@ -62,7 +66,7 @@ func (s *Server) Serve(conn transport.Conn) error {
 	// clients drop the hello unread while new ones turn on batched opens.
 	// A send failure here means the connection is already dead; the demux
 	// loop's first Recv reports it.
-	_ = conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(proto.CapBatchOpen)))
+	_ = conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(proto.CapBatchOpen, proto.CapDeltaFrame)))
 	err := s.demux(conn)
 	// Unblock any session still waiting for a control (the peer is gone),
 	// then drain the episode goroutines.
@@ -163,10 +167,45 @@ func (s *Server) demux(conn transport.Conn) error {
 				s.mu.Unlock()
 			}
 
+		case proto.KindSessionError:
+			// Session 0 carries the peer's capability hello: a delta-capable
+			// client answers our announcement with its own (and only then —
+			// legacy clients drop session-0 traffic unread, legacy servers
+			// never announce, so no peer ever receives a message it cannot
+			// handle). Any other SessionError from a client is protocol abuse.
+			if sid != 0 {
+				return fmt.Errorf("simserver: session %d: unexpected session error from client", sid)
+			}
+			se, err := proto.DecodeSessionError(inner)
+			if err != nil {
+				return fmt.Errorf("simserver: client hello: %w", err)
+			}
+			caps, ok := proto.ParseCapabilityHello(se.Reason)
+			if !ok {
+				continue
+			}
+			for _, c := range caps {
+				if c == proto.CapDeltaFrame {
+					s.mu.Lock()
+					s.deltaOK = true
+					s.mu.Unlock()
+				}
+			}
+
 		default:
 			return fmt.Errorf("simserver: session %d: unexpected kind %d", sid, kind)
 		}
 	}
+}
+
+// deltaAllowed reports whether the peer has announced delta-frame decode
+// support. Checked per frame: the client hello can race the first opens,
+// and a mid-episode switch is safe because every frame message is
+// self-describing (keyframe or delta) and ordered within its session.
+func (s *Server) deltaAllowed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltaOK
 }
 
 // open registers a session and spawns its episode goroutine. Episode
@@ -213,9 +252,20 @@ func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpi
 		return
 	}
 
+	// One stream codec per session: frames reuse the encoder's scratch and
+	// send buffer (zero steady-state allocations), and delta-compress
+	// against the session's previous frame once the peer has said it can
+	// decode them.
+	var enc proto.FrameEncoder
+	defer func() {
+		s.mu.Lock()
+		s.deltaFrames += enc.Deltas()
+		s.mu.Unlock()
+	}()
 	for {
 		obs := e.Observe()
-		if err := conn.Send(proto.EncodeEnvelope(sid, proto.EncodeSensorFrame(obsFrame(obs)))); err != nil {
+		obsFrameInto(enc.Next(), obs)
+		if err := conn.Send(enc.Encode(sid, s.deltaAllowed())); err != nil {
 			return
 		}
 		if obs.Done {
@@ -301,6 +351,15 @@ func (s *Server) FailedSessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.failed
+}
+
+// DeltaFramesSent reports how many sensor frames went out delta-encoded
+// across finished sessions — zero against a legacy client, which never
+// announces decode support.
+func (s *Server) DeltaFramesSent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltaFrames
 }
 
 // Err reports why Serve exited: nil while it is still running or after a

@@ -22,20 +22,27 @@ import (
 // legacy single-episode loop and the multiplexed session loop, so the two
 // paths cannot drift apart).
 func obsFrame(obs sim.Observation) *proto.SensorFrame {
-	return &proto.SensorFrame{
-		Frame:   uint32(obs.Frame),
-		TimeSec: obs.TimeSec,
-		ImageW:  uint16(obs.Image.W),
-		ImageH:  uint16(obs.Image.H),
-		Pixels:  obs.Image.ToBytes(),
-		Speed:   obs.Speed,
-		GPSX:    obs.GPS.X,
-		GPSY:    obs.GPS.Y,
-		Lidar:   obs.Lidar,
-		Command: uint8(obs.Command),
-		Done:    obs.Done,
-		Status:  uint8(obs.Status),
-	}
+	var f proto.SensorFrame
+	obsFrameInto(&f, obs)
+	return &f
+}
+
+// obsFrameInto fills a reused scratch frame with one observation's wire
+// form, appending pixels and lidar into the scratch's existing capacity —
+// the allocation-free shape the session frame loop needs.
+func obsFrameInto(f *proto.SensorFrame, obs sim.Observation) {
+	f.Frame = uint32(obs.Frame)
+	f.TimeSec = obs.TimeSec
+	f.ImageW = uint16(obs.Image.W)
+	f.ImageH = uint16(obs.Image.H)
+	f.Pixels = obs.Image.AppendBytes(f.Pixels[:0])
+	f.Speed = obs.Speed
+	f.GPSX = obs.GPS.X
+	f.GPSY = obs.GPS.Y
+	f.Lidar = append(f.Lidar[:0], obs.Lidar...)
+	f.Command = uint8(obs.Command)
+	f.Done = obs.Done
+	f.Status = uint8(obs.Status)
 }
 
 // resultEnd converts a final sim result into its summary wire form.

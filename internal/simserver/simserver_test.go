@@ -97,6 +97,34 @@ func TestEpisodeOverInProcPipe(t *testing.T) {
 	}
 }
 
+// lockstepConn materializes the happens-before edges the request/response
+// protocol already guarantees. TCP tests drive the client with a
+// ground-truth oracle reading the server's episode, which is safe only
+// because exactly one side acts at a time — but the race detector cannot
+// see alternation through a socket (the pipe transport's channels provide
+// these edges for free). Wrapping both ends over one mutex — acquired
+// before a send and after a receive, never held across I/O — turns each
+// message into a visible synchronization point.
+type lockstepConn struct {
+	transport.Conn
+	mu *sync.Mutex
+}
+
+func (c lockstepConn) Send(msg []byte) error {
+	c.mu.Lock()
+	//lint:ignore SA2001 the empty critical section is the point: an edge, not exclusion
+	c.mu.Unlock()
+	return c.Conn.Send(msg)
+}
+
+func (c lockstepConn) Recv() ([]byte, error) {
+	msg, err := c.Conn.Recv()
+	c.mu.Lock()
+	//lint:ignore SA2001 see Send
+	c.mu.Unlock()
+	return msg, err
+}
+
 func TestEpisodeOverTCP(t *testing.T) {
 	w := testWorld(t)
 	from, to := mission(t, w, 2)
@@ -114,6 +142,7 @@ func TestEpisodeOverTCP(t *testing.T) {
 
 	var (
 		wg        sync.WaitGroup
+		step      sync.Mutex // lockstep edges for the e.EgoState oracle
 		serverRes sim.Result
 		serverErr error
 	)
@@ -126,7 +155,7 @@ func TestEpisodeOverTCP(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		serverRes, serverErr = ServeEpisode(e, conn)
+		serverRes, serverErr = ServeEpisode(e, lockstepConn{conn, &step})
 	}()
 
 	clientConn, err := transport.Dial(l.Addr())
@@ -140,7 +169,7 @@ func TestEpisodeOverTCP(t *testing.T) {
 			return pilot.Control(e.EgoState(), nil)
 		},
 	}
-	end, err := simclient.RunEpisode(clientConn, driver)
+	end, err := simclient.RunEpisode(lockstepConn{clientConn, &step}, driver)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,6 +206,7 @@ func TestTransportEquivalence(t *testing.T) {
 	}
 	defer l.Close()
 	var wg sync.WaitGroup
+	var step sync.Mutex // lockstep edges for the e.EgoState oracle
 	var resTCP sim.Result
 	var serverErr error
 	wg.Add(1)
@@ -188,14 +218,14 @@ func TestTransportEquivalence(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		resTCP, serverErr = ServeEpisode(e, conn)
+		resTCP, serverErr = ServeEpisode(e, lockstepConn{conn, &step})
 	}()
 	clientConn, err := transport.Dial(l.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer clientConn.Close()
-	_, err = simclient.RunEpisode(clientConn, &simclient.AutopilotDriver{
+	_, err = simclient.RunEpisode(lockstepConn{clientConn, &step}, &simclient.AutopilotDriver{
 		Fn: func(frame *proto.SensorFrame) physics.Control {
 			return pilot.Control(e.EgoState(), nil)
 		},
