@@ -116,6 +116,7 @@ import (
 	"github.com/avfi/avfi/internal/rng"
 	"github.com/avfi/avfi/internal/sim"
 	"github.com/avfi/avfi/internal/simserver"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/world"
 )
 
@@ -253,6 +254,74 @@ const (
 	WeatherRain  = world.WeatherRain
 	WeatherFog   = world.WeatherFog
 )
+
+// Telemetry and observability: every AVFI process can expose its live
+// metrics (Prometheus text), a JSON status snapshot, health, and pprof on
+// one address (cmd/avfi's -status-addr does exactly this).
+type (
+	// TelemetryServer is the status/metrics/pprof HTTP endpoint returned
+	// by ServeTelemetry; attach JSON sections with SetStatus and stop it
+	// with Close.
+	TelemetryServer = telemetry.Server
+	// CampaignStatus is Runner.Status's snapshot: campaign progress,
+	// per-engine health, per-cell timing, adaptive round state.
+	CampaignStatus = campaign.CampaignStatus
+	// CellStatus is one scenario cell's live progress within a
+	// CampaignStatus.
+	CellStatus = campaign.CellStatus
+	// AdaptiveStatus is the adaptive round loop's live state within a
+	// CampaignStatus.
+	AdaptiveStatus = campaign.AdaptiveStatus
+	// WorkerStatus is SimWorker.Status's snapshot: connections served and
+	// active.
+	WorkerStatus = simserver.WorkerStatus
+	// LogLevel selects the process-wide logging verbosity (see
+	// SetLogLevel).
+	LogLevel = telemetry.Level
+)
+
+// Log levels for SetLogLevel, most to least verbose.
+const (
+	LogDebug = telemetry.LevelDebug
+	LogInfo  = telemetry.LevelInfo
+	LogWarn  = telemetry.LevelWarn
+	LogError = telemetry.LevelError
+	LogOff   = telemetry.LevelOff
+)
+
+// ServeTelemetry starts the observability endpoint on addr (":0" picks a
+// port; see TelemetryServer.Addr) serving /metrics (Prometheus text
+// exposition), /statusz (JSON), /healthz, and /debug/pprof/*. It also
+// enables metric collection process-wide, so the instruments the endpoint
+// exposes are live. Campaigns attach their progress with
+// srv.SetStatus("campaign", func() any { return runner.Status() }).
+func ServeTelemetry(addr string) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, nil)
+}
+
+// SetTelemetryEnabled turns metric collection on or off process-wide
+// without serving an endpoint (ServeTelemetry enables it implicitly).
+// Collection is off by default and costs one predicted branch per
+// instrument when disabled.
+func SetTelemetryEnabled(on bool) { telemetry.SetEnabled(on) }
+
+// TelemetryEnabled reports whether metric collection is on.
+func TelemetryEnabled() bool { return telemetry.Enabled() }
+
+// SetLogLevel sets the process-wide log verbosity. The default is LogWarn:
+// quiet operation, with engine deaths, slow episodes and dropped sessions
+// still surfaced.
+func SetLogLevel(l LogLevel) { telemetry.SetLogLevel(l) }
+
+// WriteMetrics writes the process's metrics as Prometheus text exposition
+// — the /metrics payload, for callers that want it without an HTTP server.
+func WriteMetrics(w io.Writer) error {
+	return telemetry.Default.WritePrometheus(w)
+}
+
+// LintPrometheusText validates a Prometheus text exposition payload —
+// what CI uses to fail on a malformed /metrics scrape.
+func LintPrometheusText(body []byte) error { return telemetry.LintPrometheus(body) }
 
 // NoInject is the canonical name of the fault-free baseline column.
 const NoInject = fault.NoopName

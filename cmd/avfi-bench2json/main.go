@@ -58,7 +58,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		"committed BenchResult JSON to gate against; absent = no perf gate")
 	maxRegress := fs.Float64("max-regress", 20,
 		"max tolerated throughput drop below -baseline, in percent")
-	match := fs.String("match", "^Benchmark(CampaignPool/remote|FrameRoundTrip)",
+	match := fs.String("match", "^Benchmark(CampaignPool/remote|FrameRoundTrip|TelemetryOverhead)",
 		"regexp selecting the baseline-gated benchmark names")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -1,0 +1,57 @@
+// Command avfi-promlint validates a Prometheus text exposition payload —
+// the format AVFI's -status-addr /metrics endpoint serves. It reads the
+// payload from stdin (or the files named as arguments), checks comment
+// structure, metric and label syntax, sample values, and histogram
+// consistency (_count must match the +Inf bucket), and exits non-zero on
+// the first malformed input. CI pipes a mid-run scrape through it so a
+// broken exposition fails the build instead of a dashboard.
+//
+// Usage:
+//
+//	curl -s localhost:6060/metrics | avfi-promlint
+//	avfi-promlint scrape1.txt scrape2.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/avfi/avfi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "avfi-promlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return lint("stdin", os.Stdin)
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = lint(path, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lint(name string, r io.Reader) error {
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if err := avfi.LintPrometheusText(body); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}

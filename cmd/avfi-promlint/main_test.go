@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLintFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(good, []byte("# HELP m things\n# TYPE m counter\nm{k=\"v\"} 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("# TYPE m counter\nm hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{good}); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("malformed exposition accepted")
+	}
+	if err := run([]string{good, bad}); err == nil {
+		t.Error("malformed second file accepted")
+	}
+	if err := run([]string{filepath.Join(dir, "missing.txt")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

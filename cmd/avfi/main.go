@@ -12,6 +12,14 @@
 //	avfi -serve 0.0.0.0:7070                      # simulator worker
 //	avfi -backends host1:7070,host2:7070 -retries 3 -stream-records logs/
 //	avfi -resume logs/ -stream-records logs/ -backends host1:7070,host2:7070
+//	avfi -status-addr :6060 -v ...                # live /metrics, /statusz, pprof
+//
+// -status-addr exposes live observability for the process — orchestrator
+// and -serve worker alike: /metrics (Prometheus text exposition),
+// /statusz (JSON: campaign progress, per-engine health, adaptive round
+// state; worker connection counts under -serve), /healthz, and
+// /debug/pprof. -v raises logging from warnings to info (episode retries,
+// engine lifecycle); -slow-episode logs episodes slower than a threshold.
 //
 // -serve turns the process into a standalone simulator worker: it accepts
 // campaign connections on the given address for its whole lifetime (each
@@ -74,6 +82,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/avfi/avfi"
 )
@@ -123,8 +132,24 @@ func run(ctx context.Context) error {
 		serveAddr  = flag.String("serve", "", "run as a simulator worker on this address (e.g. :7070) instead of a campaign")
 		backends   = flag.String("backends", "", "comma-separated remote worker addresses; the campaign dials these instead of spawning in-process engines")
 		fullFrames = flag.Bool("full-frames", false, "disable delta-encoded sensor frames (diagnostic; results are bit-identical either way)")
+		statusAddr = flag.String("status-addr", "", "serve live observability on this address (e.g. :6060): /metrics, /statusz, /healthz, /debug/pprof — for campaigns and -serve workers alike")
+		verbose    = flag.Bool("v", false, "verbose logging (episode retries, engine lifecycle); default logs warnings only")
+		slowEp     = flag.Duration("slow-episode", 2*time.Minute, "log a warning for episodes slower than this (0 disables)")
 	)
 	flag.Parse()
+
+	if *verbose {
+		avfi.SetLogLevel(avfi.LogInfo)
+	}
+	var statusSrv *avfi.TelemetryServer
+	if *statusAddr != "" {
+		var err error
+		if statusSrv, err = avfi.ServeTelemetry(*statusAddr); err != nil {
+			return err
+		}
+		defer statusSrv.Close()
+		fmt.Fprintf(os.Stderr, "status: serving /metrics /statusz /healthz /debug/pprof on %s\n", statusSrv.Addr())
+	}
 
 	if *listInj {
 		for _, name := range avfi.RegisteredInjectors() {
@@ -134,7 +159,7 @@ func run(ctx context.Context) error {
 	}
 
 	if *serveAddr != "" {
-		return serveWorker(ctx, *serveAddr, avfi.DefaultWorldConfig(), os.Stderr)
+		return serveWorker(ctx, *serveAddr, avfi.DefaultWorldConfig(), os.Stderr, statusSrv)
 	}
 	backendList, err := parseBackends(*backends)
 	if err != nil {
@@ -186,6 +211,7 @@ func run(ctx context.Context) error {
 		UseTCP:         *useTCP,
 		Parallelism:    *parallel,
 		Pool:           avfi.PoolConfig{Engines: *engines, MaxRetries: *retries, Backends: backendList, FullFrames: *fullFrames},
+		SlowEpisode:    *slowEp,
 		Seed:           *seed,
 	}
 	var resumeCount int
@@ -278,6 +304,9 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if statusSrv != nil {
+		statusSrv.SetStatus("campaign", func() any { return runner.Status() })
+	}
 	var rs *avfi.ResultSet
 	if *adaptiveOn {
 		fmt.Fprintf(os.Stderr, "adaptive campaign over %d scenario columns x %d missions x %d reps (policy %s, budget %d)...\n",
@@ -363,8 +392,9 @@ func run(ctx context.Context) error {
 // serveWorker runs the process as a standalone simulator worker: a world
 // built from wcfg, serving campaign connections on addr until ctx is
 // cancelled (SIGINT/SIGTERM in main). The bound address is announced on
-// out — with ":0", that line is how callers learn the port.
-func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io.Writer) error {
+// out — with ":0", that line is how callers learn the port. A non-nil
+// statusSrv gets a "worker" /statusz section for the worker's lifetime.
+func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io.Writer, statusSrv *avfi.TelemetryServer) error {
 	w, err := avfi.NewWorld(wcfg)
 	if err != nil {
 		return err
@@ -373,6 +403,9 @@ func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io
 	bound, err := worker.Listen(addr)
 	if err != nil {
 		return err
+	}
+	if statusSrv != nil {
+		statusSrv.SetStatus("worker", func() any { return worker.Status() })
 	}
 	fmt.Fprintf(out, "worker: serving simulator backend on %s\n", bound)
 	done := make(chan struct{})

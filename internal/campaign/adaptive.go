@@ -21,6 +21,7 @@ import (
 	"github.com/avfi/avfi/internal/metrics"
 	"github.com/avfi/avfi/internal/rng"
 	"github.com/avfi/avfi/internal/stats"
+	"github.com/avfi/avfi/internal/telemetry"
 )
 
 // AdaptiveConfig parameterizes RunAdaptive.
@@ -188,6 +189,9 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 		pipe.abandon()
 		return nil, err
 	}
+	r.beginRun("adaptive", budget, sess.pool)
+	telemetry.Infof("campaign: adaptive run started: policy %s, budget %d over %d cells, round size %d",
+		acfg.Policy.Name(), budget, len(r.cells), roundSize)
 	pipe.start(sess.parallelism)
 
 	astats := &AdaptiveStats{Policy: acfg.Policy.Name(), Budget: budget}
@@ -222,8 +226,10 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 		if len(alloc) != len(r.cells) {
 			sess.close()
 			pipe.abandon()
-			return nil, fmt.Errorf("campaign: adaptive: policy %s allocated %d cells, want %d",
+			err := fmt.Errorf("campaign: adaptive: policy %s allocated %d cells, want %d",
 				acfg.Policy.Name(), len(alloc), len(r.cells))
+			r.endRun(err)
+			return nil, err
 		}
 		var jobs []job
 		active := 0
@@ -261,6 +267,7 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 		if cause := context.Cause(ctx); cause != nil {
 			sess.close()
 			pipe.abandon()
+			r.endRun(cause)
 			return nil, cause
 		}
 
@@ -286,6 +293,13 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 			TotalViolations: totalViolations,
 		}
 		astats.Rounds = append(astats.Rounds, rs)
+		r.setAdaptive(AdaptiveStatus{
+			Policy:          astats.Policy,
+			Budget:          budget,
+			Round:           round,
+			Spent:           spent,
+			TotalViolations: totalViolations,
+		})
 		if acfg.RoundProgress != nil {
 			acfg.RoundProgress(rs)
 		}
@@ -295,15 +309,19 @@ func (r *Runner) RunAdaptive(ctx context.Context, acfg AdaptiveConfig) (*ResultS
 	closeErr := sess.close()
 	if cause := context.Cause(ctx); cause != nil {
 		pipe.abandon()
+		r.endRun(cause)
 		return nil, cause
 	}
 	records, reports, sinkErr := pipe.finish()
 	if closeErr != nil {
+		r.endRun(closeErr)
 		return nil, closeErr
 	}
 	if sinkErr != nil {
+		r.endRun(sinkErr)
 		return nil, sinkErr
 	}
+	r.endRun(nil)
 	return &ResultSet{
 		Records:  records,
 		Reports:  reports,

@@ -24,6 +24,7 @@ import (
 	"hash/fnv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"github.com/avfi/avfi/internal/agent"
 	"github.com/avfi/avfi/internal/fault"
@@ -34,6 +35,7 @@ import (
 	"github.com/avfi/avfi/internal/sim"
 	"github.com/avfi/avfi/internal/simclient"
 	"github.com/avfi/avfi/internal/simserver"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/world"
 )
 
@@ -134,6 +136,11 @@ type Config struct {
 	// with Resume. The runner drains the source before dispatching; the
 	// caller still owns any underlying files (see RecordStream.Close).
 	ResumeFrom RecordSource
+	// SlowEpisode, when positive, is the wall-clock duration above which a
+	// finished episode is logged as a warning (with its cell, mission,
+	// repetition and engine) through the telemetry logger — the first place
+	// to look when a campaign's throughput sags. 0 disables the warning.
+	SlowEpisode time.Duration
 	// DiscardRecords drops records after streaming aggregation:
 	// ResultSet.Records stays nil, and instead of full EpisodeRecords
 	// (violation lists and label strings) the campaign retains only each
@@ -255,13 +262,12 @@ type EngineStats struct {
 	// Backend is the remote worker address serving this engine slot (""
 	// for in-process engines).
 	Backend string `json:",omitempty"`
-	// Episodes is how many sessions the engine ran to completion —
-	// sessions aborted by factory failures, overflow drops or a dying
-	// connection are excluded, so under retry the pool aggregate normally
-	// matches the campaign's episode count. (One narrow exception: a
-	// backend that dies after finishing an episode whose completion never
-	// reached the client counts it here, and the retried episode counts
-	// again on the replacement engine.)
+	// Episodes is how many sessions the engine ran to completion, counted
+	// at the client end of the connection (the same for in-process and
+	// remote engines): an episode counts when its EpisodeEnd reaches the
+	// client. Sessions aborted by factory failures, overflow drops or a
+	// dying connection are excluded, so under retry the pool aggregate
+	// matches the campaign's episode count.
 	Episodes int
 	// MaxConcurrentSessions is the high-water mark of episodes multiplexed
 	// simultaneously over the engine's connection.
@@ -330,6 +336,8 @@ type Runner struct {
 	cells []runCell
 	// backendSeq drives the round-robin rotation over Pool.Backends.
 	backendSeq atomic.Uint64
+	// status is the live progress snapshot behind Runner.Status (status.go).
+	status runnerStatus
 }
 
 // NewRunner builds the world, resolves the agent (training it on first use
@@ -407,6 +415,9 @@ type job struct {
 	cellIdx    int
 	mission    int
 	repetition int
+	// enqueued is when the feed loop handed the job to the worker channel
+	// (zero when telemetry is off) — the queue-wait phase span's start.
+	enqueued time.Time
 }
 
 // sinkLanes resolves the configured sinks into the pipeline's lane list:
@@ -432,6 +443,7 @@ func (r *Runner) episodeSeed(key string, mission, rep int) uint64 {
 
 // runEpisode executes one job as a session on the persistent engine.
 func (r *Runner) runEpisode(eng *engine, j job) (metrics.EpisodeRecord, error) {
+	start := time.Now()
 	cell := r.cells[j.cellIdx]
 	pair := r.missions[j.mission]
 	seed := r.episodeSeed(cell.key, j.mission, j.repetition)
@@ -477,6 +489,14 @@ func (r *Runner) runEpisode(eng *engine, j job) (metrics.EpisodeRecord, error) {
 	} else {
 		return metrics.EpisodeRecord{}, fmt.Errorf("campaign: %s m%d r%d: session %d: %w", cell.key, j.mission, j.repetition, sid, errNoResult)
 	}
+	dur := time.Since(start)
+	telemetry.CampaignEpisodes.Inc()
+	telemetry.EpisodeSeconds.Observe(dur.Seconds())
+	if r.cfg.SlowEpisode > 0 && dur > r.cfg.SlowEpisode {
+		telemetry.Warnf("campaign: slow episode: cell=%s mission=%d rep=%d engine=%d (%s) took %s (threshold %s)",
+			cell.key, j.mission, j.repetition, eng.id, eng.desc(), dur.Round(time.Millisecond), r.cfg.SlowEpisode)
+	}
+	r.noteEpisode(j.cellIdx, dur)
 	injTime := float64(cell.src.InjectionFrame) * sim.Dt
 	return metrics.FromSimResult(cell.key, j.mission, j.repetition, seed, res, injTime), nil
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/avfi/avfi/internal/sim"
 	"github.com/avfi/avfi/internal/simclient"
 	"github.com/avfi/avfi/internal/simserver"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/transport"
 )
 
@@ -225,27 +226,27 @@ func (e *engine) stashedResult(sid uint32) (sim.Result, bool) {
 	return e.server.Result(sid)
 }
 
-// stats snapshots the engine's work so far. Remote backends have no
-// in-process server to ask, so their counters come from the client side of
-// the connection (same events, observed at the near end).
+// stats snapshots the engine's work so far, always from the client side of
+// the connection: the same session events reach both ends, and counting at
+// the near end makes in-process and remote engines report identically (a
+// remote backend has no reachable server to ask anyway).
 func (e *engine) stats() EngineStats {
-	if e.server == nil {
-		return EngineStats{
-			Engine:                e.id,
-			Transport:             e.transport,
-			Backend:               e.backend,
-			Episodes:              e.client.CompletedSessions(),
-			MaxConcurrentSessions: e.client.MaxConcurrent(),
-			FailedSessions:        e.client.FailedSessions(),
-		}
-	}
 	return EngineStats{
 		Engine:                e.id,
 		Transport:             e.transport,
-		Episodes:              e.server.CompletedSessions(),
-		MaxConcurrentSessions: e.server.MaxConcurrent(),
-		FailedSessions:        e.server.FailedSessions(),
+		Backend:               e.backend,
+		Episodes:              e.client.CompletedSessions(),
+		MaxConcurrentSessions: e.client.MaxConcurrent(),
+		FailedSessions:        e.client.FailedSessions(),
 	}
+}
+
+// desc labels the engine's backend for log lines.
+func (e *engine) desc() string {
+	if e.backend != "" {
+		return e.transport + " " + e.backend
+	}
+	return e.transport
 }
 
 // close tears the engine down: closing the client's connection is the
@@ -371,6 +372,7 @@ func (p *enginePool) fail(e *engine) {
 
 // noteRetry counts one episode re-dispatch.
 func (p *enginePool) noteRetry() {
+	telemetry.CampaignRetries.Inc()
 	p.mu.Lock()
 	p.retries++
 	p.mu.Unlock()
@@ -398,6 +400,9 @@ func (p *enginePool) replaceLocked(i int) (*engine, error) {
 	p.engines[i] = ne
 	p.retired = append(p.retired, old)
 	p.replacements++
+	telemetry.CampaignReplacements.Inc()
+	telemetry.Warnf("campaign: engine %d (%s) died (%v); replaced with %s (%d/%d replacements used)",
+		i, old.desc(), old.backendErr(), ne.desc(), p.replacements, p.maxReplacements)
 	return ne, nil
 }
 

@@ -8,9 +8,11 @@ import (
 	"runtime"
 	"sync"
 	"syscall"
+	"time"
 
 	"github.com/avfi/avfi/internal/metrics"
 	"github.com/avfi/avfi/internal/simclient"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/transport"
 )
 
@@ -65,19 +67,29 @@ type scheduler struct {
 // Episodes are a pure function of their seed, so a retried episode produces
 // the identical record a first-try success would have.
 func (s *scheduler) runJob(ctx context.Context, j job) (metrics.EpisodeRecord, error) {
+	spans := telemetry.Enabled()
 	for attempt := 0; ; attempt++ {
 		if err := context.Cause(ctx); err != nil {
 			return metrics.EpisodeRecord{}, err
 		}
+		var tAcq time.Time
+		if spans {
+			tAcq = time.Now()
+		}
 		eng, err := s.pool.acquire()
 		if err != nil {
 			return metrics.EpisodeRecord{}, err
+		}
+		if spans {
+			telemetry.PhaseDispatch.Observe(time.Since(tAcq).Seconds())
 		}
 		rec, err := s.run(eng, j)
 		if err != nil && eng.client.Err() != nil {
 			// The engine's connection is gone: condemn the backend, not
 			// just this episode.
 			s.pool.fail(eng)
+			telemetry.Warnf("campaign: engine %d (%s) condemned after episode failure: %v",
+				eng.id, eng.desc(), eng.client.Err())
 		}
 		s.pool.release(eng)
 		if err == nil {
@@ -87,6 +99,8 @@ func (s *scheduler) runJob(ctx context.Context, j job) (metrics.EpisodeRecord, e
 			return metrics.EpisodeRecord{}, err
 		}
 		s.pool.noteRetry()
+		telemetry.Infof("campaign: retrying episode cell=%d mission=%d rep=%d (attempt %d/%d) after transient failure: %v",
+			j.cellIdx, j.mission, j.repetition, attempt+1, s.maxRetries, err)
 	}
 }
 
@@ -160,6 +174,9 @@ func (s *runSession) runJobs(ctx context.Context, cancel context.CancelCauseFunc
 						return
 					}
 				}
+				if !j.enqueued.IsZero() {
+					telemetry.PhaseQueueWait.Observe(time.Since(j.enqueued).Seconds())
+				}
 				rec, err := s.sched.runJob(ctx, j)
 				if err != nil {
 					cancel(err)
@@ -169,8 +186,12 @@ func (s *runSession) runJobs(ctx context.Context, cancel context.CancelCauseFunc
 			}
 		}()
 	}
+	spans := telemetry.Enabled()
 feed:
 	for _, j := range jobs {
+		if spans {
+			j.enqueued = time.Now()
+		}
 		select {
 		case jobCh <- j:
 		case <-ctx.Done():
@@ -224,6 +245,9 @@ func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
 		pipe.abandon()
 		return nil, err
 	}
+	r.beginRun("sweep", len(jobs), sess.pool)
+	telemetry.Infof("campaign: sweep started: %d episodes over %d cells, parallelism %d",
+		len(jobs), len(r.cells), sess.parallelism)
 	pipe.start(sess.parallelism)
 	sess.runJobs(ctx, cancel, jobs, pipe.consume)
 
@@ -233,15 +257,19 @@ func (r *Runner) RunContext(ctx context.Context) (*ResultSet, error) {
 		// The campaign is aborting: don't wait for the pipeline to drain —
 		// a cancellation caused by a wedged sink would never finish.
 		pipe.abandon()
+		r.endRun(cause)
 		return nil, cause
 	}
 	records, reports, sinkErr := pipe.finish()
 	if closeErr != nil {
+		r.endRun(closeErr)
 		return nil, closeErr
 	}
 	if sinkErr != nil {
+		r.endRun(sinkErr)
 		return nil, sinkErr
 	}
+	r.endRun(nil)
 	return &ResultSet{
 		Records: records,
 		Reports: reports,

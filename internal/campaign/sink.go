@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/avfi/avfi/internal/metrics"
+	"github.com/avfi/avfi/internal/telemetry"
 )
 
 // RecordSink consumes episode records as they complete, in completion
@@ -195,6 +196,7 @@ func (sh *sinkShard) loop() {
 	defer close(sh.done)
 	p := sh.p
 	for rec := range sh.ch {
+		telemetry.CampaignSinkQueue.Add(-1)
 		if b, ok := p.builders[rec.Injector]; ok {
 			b.Add(rec)
 			if p.progress != nil {
@@ -236,9 +238,21 @@ func (sh *sinkShard) loop() {
 // than errors) can never wedge the campaign beyond the caller's ability to
 // cancel it.
 func (p *sinkPipeline) consume(ctx context.Context, rec metrics.EpisodeRecord) {
+	spans := telemetry.Enabled()
+	var t0 time.Time
+	if spans {
+		t0 = time.Now()
+	}
+	// The depth gauge counts the record before the hand-off so a scrape
+	// never catches the shard's decrement ahead of our increment.
+	telemetry.CampaignSinkQueue.Add(1)
 	select {
 	case p.shardFor(rec.Injector).ch <- rec:
+		if spans {
+			telemetry.PhaseSink.Observe(time.Since(t0).Seconds())
+		}
 	case <-ctx.Done():
+		telemetry.CampaignSinkQueue.Add(-1)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/avfi/avfi/internal/proto"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/transport"
 )
 
@@ -172,11 +173,18 @@ func BenchmarkSensorFrameDelta(b *testing.B) {
 // buffers — at (near) zero steady-state allocations per frame, over real
 // TCP. Strictly zero is asserted for the codec alone in
 // TestFrameCodecZeroAllocs; here anything below one alloc per frame on
-// average proves the pools are cycling.
+// average proves the pools are cycling. Telemetry collection is enabled
+// for the run: the hot-path instruments (transport byte/message counters,
+// frame codec counters, writev batch histogram) must observe without
+// allocating, or a -status-addr endpoint would cost the frame path its
+// zero-allocation property.
 func TestFrameRoundTripZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops Puts under the race detector; pooled zero-alloc cannot hold")
 	}
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
 	l, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -215,5 +223,60 @@ func TestFrameRoundTripZeroAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(200, step); allocs >= 1 {
 		t.Errorf("frame round trip allocates %.2f times per frame, want < 1", allocs)
+	}
+}
+
+// BenchmarkTelemetryOverhead measures what metric collection costs the
+// frame hot path: the same delta-stream round trip as
+// BenchmarkFrameRoundTrip/delta, with the process-wide telemetry gate off
+// and on. The enabled path adds a handful of atomic increments and one
+// histogram bucket search per message; the bench-pool CI gate fails if
+// enabling collection ever costs the frame path more than its regression
+// budget.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "disabled"
+		if on {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := telemetry.Enabled()
+			telemetry.SetEnabled(on)
+			defer telemetry.SetEnabled(prev)
+			l, err := transport.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			go frameServer(l, "delta")
+			conn, err := transport.Dial(l.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+
+			ctl := proto.EncodeEnvelope(1, proto.EncodeControl(&proto.Control{Frame: 1}))
+			var dec proto.FrameDecoder
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(ctl); err != nil {
+					b.Fatal(err)
+				}
+				msg, err := conn.Recv()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, inner, err := proto.DecodeEnvelope(msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dec.Decode(inner); err != nil {
+					b.Fatal(err)
+				}
+				transport.Recycle(msg)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+		})
 	}
 }

@@ -41,6 +41,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+
+	"github.com/avfi/avfi/internal/telemetry"
 )
 
 // KindSensorFrameDelta is server -> client: one frame of sensor data,
@@ -310,6 +312,13 @@ func (e *FrameEncoder) Encode(session uint32, allowDelta bool) []byte {
 	if !sent {
 		buf = AppendSensorFrame(buf, cur)
 	}
+	if sent {
+		telemetry.FramesEncodedDelta.Inc()
+	} else {
+		telemetry.FramesEncodedKey.Inc()
+	}
+	telemetry.FramesEncodedBytes.Add(uint64(len(buf)))
+	telemetry.FramesRawBytes.Add(uint64(len(cur.Pixels)))
 	e.buf = buf
 	e.have = true
 	e.cur = 1 - e.cur
@@ -344,6 +353,7 @@ func (d *FrameDecoder) Decode(msg []byte) (*SensorFrame, error) {
 		if err := DecodeSensorFrameInto(msg, f); err != nil {
 			return nil, err
 		}
+		telemetry.FramesDecodedKey.Inc()
 	case KindSensorFrameDelta:
 		if !d.have {
 			return nil, fmt.Errorf("%w: delta frame with no previous frame on the stream", ErrCodec)
@@ -352,6 +362,7 @@ func (d *FrameDecoder) Decode(msg []byte) (*SensorFrame, error) {
 			return nil, err
 		}
 		d.deltas++
+		telemetry.FramesDecodedDelta.Inc()
 	default:
 		return nil, fmt.Errorf("%w: kind %d is not a frame message", ErrCodec, kind)
 	}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/avfi/avfi/internal/geom"
 	"github.com/avfi/avfi/internal/proto"
 	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/transport"
 )
 
@@ -147,6 +149,7 @@ func (c *Client) recvLoop() {
 			case s.fail <- fmt.Errorf("inbound buffer overflow (session not consuming)"):
 			default:
 			}
+			telemetry.Warnf("simclient: session %d dropped: inbound buffer overflow", sid)
 			c.unregister(sid)
 			transport.Recycle(msg)
 		}
@@ -205,6 +208,7 @@ func (c *Client) MaxConcurrent() int {
 
 // noteCompleted counts one cleanly finished episode.
 func (c *Client) noteCompleted() {
+	telemetry.ClientSessionsCompleted.Inc()
 	c.mu.Lock()
 	c.completed++
 	c.mu.Unlock()
@@ -212,6 +216,7 @@ func (c *Client) noteCompleted() {
 
 // noteFailed counts one session aborted by the server or the demux guard.
 func (c *Client) noteFailed() {
+	telemetry.ClientSessionsFailed.Inc()
 	c.mu.Lock()
 	c.failed++
 	c.mu.Unlock()
@@ -410,6 +415,7 @@ func (c *Client) sendLoop() {
 					}
 				}
 			}
+			telemetry.ClientOpenBatch.Observe(float64(len(batch)))
 			var err error
 			switch {
 			case len(batch) == 1:
@@ -455,13 +461,20 @@ func (c *Client) register() (uint32, *session) {
 	if len(c.sessions) > c.maxOpen {
 		c.maxOpen = len(c.sessions)
 	}
+	telemetry.ClientSessionsOpened.Inc()
+	telemetry.ClientInFlight.Add(1)
 	return sid, s
 }
 
-// unregister drops a session's routing entry.
+// unregister drops a session's routing entry. Idempotent: the demux
+// guard and RunEpisode's deferred cleanup may both call it, and the
+// in-flight gauge must move once per session.
 func (c *Client) unregister(sid uint32) {
 	c.mu.Lock()
-	delete(c.sessions, sid)
+	if _, ok := c.sessions[sid]; ok {
+		delete(c.sessions, sid)
+		telemetry.ClientInFlight.Add(-1)
+	}
 	c.mu.Unlock()
 }
 
@@ -495,6 +508,15 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 	var st episodeStream
 	defer func() { c.noteDeltas(st.dec.Deltas()) }()
 
+	// Phase spans (open: open sent -> first inbound; frames: first
+	// inbound -> result or end; result: wire result -> end) cost two
+	// time.Now calls per message boundary, so they are skipped entirely
+	// unless telemetry is collecting.
+	spans := telemetry.Enabled()
+	var tOpen, tFirst, tResult time.Time
+	if spans {
+		tOpen = time.Now()
+	}
 	if err := c.sendOpen(sid, open); err != nil {
 		return sid, nil, nil, fmt.Errorf("simclient: session %d: open: %w", sid, err)
 	}
@@ -517,6 +539,10 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, ErrClientClosed)
 			}
 		}
+		if spans && tFirst.IsZero() {
+			tFirst = time.Now()
+			telemetry.PhaseOpen.Observe(tFirst.Sub(tOpen).Seconds())
+		}
 		inner := in.inner
 		// The session layer adds messages the legacy loop never sees: an
 		// aborted open, and the full result preceding EpisodeEnd.
@@ -533,6 +559,9 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 			if err != nil {
 				return sid, nil, nil, fmt.Errorf("simclient: session %d: %w", sid, err)
 			}
+			if spans {
+				tResult = time.Now()
+			}
 			transport.Recycle(in.msg)
 			continue
 		}
@@ -544,6 +573,15 @@ func (c *Client) runEpisode(open *proto.OpenEpisode, d Driver) (uint32, *proto.E
 		// go back to the pool before the reply is even sent.
 		transport.Recycle(in.msg)
 		if end != nil {
+			if spans {
+				now := time.Now()
+				if tResult.IsZero() {
+					telemetry.PhaseFrames.Observe(now.Sub(tFirst).Seconds())
+				} else {
+					telemetry.PhaseFrames.Observe(tResult.Sub(tFirst).Seconds())
+					telemetry.PhaseResult.Observe(now.Sub(tResult).Seconds())
+				}
+			}
 			c.noteCompleted()
 			return sid, result, end, nil
 		}

@@ -10,6 +10,7 @@ import (
 	"github.com/avfi/avfi/internal/physics"
 	"github.com/avfi/avfi/internal/proto"
 	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/transport"
 )
 
@@ -152,6 +153,8 @@ func (s *Server) demux(conn transport.Conn) error {
 					close(cur)
 					delete(s.sessions, sid)
 					s.failed++
+					telemetry.ServerSessionsFailed.Inc()
+					telemetry.Warnf("simserver: session %d dropped: control overflow", sid)
 					// Tell the peer, so its episode loop fails instead of
 					// waiting forever for a frame that will never come —
 					// from a goroutine, so that even a backpressured
@@ -227,6 +230,8 @@ func (s *Server) open(conn transport.Conn, sid uint32, open *proto.OpenEpisode) 
 		s.maxActive = s.active
 	}
 	s.mu.Unlock()
+	telemetry.ServerSessionsOpened.Inc()
+	telemetry.ServerInFlight.Add(1)
 
 	s.wg.Add(1)
 	go s.runSession(conn, sid, open, ch)
@@ -244,6 +249,8 @@ func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpi
 
 	e, err := s.factory(open)
 	if err != nil {
+		telemetry.ServerSessionsFailed.Inc()
+		telemetry.Infof("simserver: session %d rejected by episode factory: %v", sid, err)
 		s.mu.Lock()
 		s.failed++
 		s.mu.Unlock()
@@ -279,6 +286,7 @@ func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpi
 	}
 
 	res := e.Result()
+	telemetry.ServerSessionsCompleted.Inc()
 	s.mu.Lock()
 	if !open.WantResult {
 		// Record before announcing the end so a client that queries Result
@@ -297,6 +305,7 @@ func (s *Server) runSession(conn transport.Conn, sid uint32, open *proto.OpenEpi
 
 // closeSession removes a session's routing entry.
 func (s *Server) closeSession(sid uint32) {
+	telemetry.ServerInFlight.Add(-1)
 	s.mu.Lock()
 	delete(s.sessions, sid)
 	s.active--

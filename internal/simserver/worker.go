@@ -9,6 +9,7 @@ import (
 
 	"github.com/avfi/avfi/internal/proto"
 	"github.com/avfi/avfi/internal/sim"
+	"github.com/avfi/avfi/internal/telemetry"
 	"github.com/avfi/avfi/internal/transport"
 	"github.com/avfi/avfi/internal/world"
 )
@@ -125,6 +126,8 @@ func (w *Worker) Serve() error {
 			if failures >= maxConsecutiveAcceptFailures {
 				return fmt.Errorf("simserver: worker: %d consecutive accept failures: %w", failures, err)
 			}
+			telemetry.Warnf("simserver: worker accept failed (%d/%d), retrying: %v",
+				failures, maxConsecutiveAcceptFailures, err)
 			time.Sleep(acceptRetryDelay)
 			continue
 		}
@@ -139,9 +142,13 @@ func (w *Worker) Serve() error {
 		w.conns[conn] = struct{}{}
 		w.served++
 		w.mu.Unlock()
+		telemetry.WorkerConns.Inc()
+		telemetry.WorkerActiveConns.Add(1)
+		telemetry.Infof("simserver: worker accepted campaign connection (%d served)", w.ConnsServed())
 		w.wg.Add(1)
 		go func(conn transport.Conn) {
 			defer w.wg.Done()
+			defer telemetry.WorkerActiveConns.Add(-1)
 			srv := NewServer(w.factory)
 			_ = srv.Serve(conn)
 			conn.Close()
@@ -207,4 +214,28 @@ func (w *Worker) isClosed() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.closed
+}
+
+// WorkerStatus is a point-in-time view of a worker for /statusz.
+type WorkerStatus struct {
+	Addr        string `json:"addr"`
+	ConnsServed int    `json:"conns_served"`
+	ActiveConns int    `json:"active_conns"`
+	Closed      bool   `json:"closed"`
+}
+
+// Status snapshots the worker; safe to call from any goroutine.
+func (w *Worker) Status() WorkerStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	addr := ""
+	if w.listener != nil {
+		addr = w.listener.Addr()
+	}
+	return WorkerStatus{
+		Addr:        addr,
+		ConnsServed: w.served,
+		ActiveConns: len(w.conns),
+		Closed:      w.closed,
+	}
 }

@@ -1,0 +1,231 @@
+// Prometheus text exposition (format 0.0.4), hand-rolled: one HELP and
+// TYPE line per family, then each series, with histograms expanded to
+// cumulative le-buckets plus _sum and _count. LintPrometheus is the
+// inverse-direction checker CI points at a live scrape.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in registration
+// order. Values are read through the same atomics the instruments
+// write, so a scrape during a run is a consistent point-in-time view
+// per series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch s.kind {
+			case kindCounter:
+				writeSample(bw, f.name, s.labels, "", float64(s.counter.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, s.labels, "", float64(s.gauge.Value()))
+			case kindGaugeFunc:
+				writeSample(bw, f.name, s.labels, "", s.fn())
+			case kindHistogram:
+				snap := s.hist.Snapshot()
+				cum := uint64(0)
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
+					le := formatFloat(bound)
+					writeSample(bw, f.name+"_bucket", joinLabels(s.labels, `le="`+le+`"`), "", float64(cum))
+				}
+				cum += snap.Counts[len(snap.Bounds)]
+				writeSample(bw, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), "", float64(cum))
+				writeSample(bw, f.name+"_sum", s.labels, "", snap.Sum)
+				writeSample(bw, f.name+"_count", s.labels, "", float64(cum))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(w io.Writer, name, labels, suffix string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s%s %s\n", name, suffix, formatFloat(v))
+	} else {
+		fmt.Fprintf(w, "%s%s{%s} %s\n", name, suffix, labels, formatFloat(v))
+	}
+}
+
+// formatFloat renders integers without an exponent or trailing zeros so
+// counters read naturally, and everything else in shortest-form 'g'.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// LintPrometheus validates a text exposition body: every line is a
+// well-formed comment or sample, every sample's family has a TYPE
+// declared before it, metric and label names are legal, values parse,
+// and histogram _count equals the +Inf bucket. It is deliberately a
+// structural linter, not a full parser — enough for CI to fail on a
+// malformed scrape instead of shipping one to a real Prometheus.
+func LintPrometheus(body []byte) error {
+	typed := map[string]string{} // family -> type
+	infBucket := map[string]float64{}
+	counts := map[string]float64{}
+	lineNo := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE missing a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+		if fam != name { // histogram component
+			key := fam + "{" + stripLe(labels) + "}"
+			switch {
+			case strings.HasSuffix(name, "_bucket") && strings.Contains(labels, `le="+Inf"`):
+				infBucket[key] = value
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = value
+			}
+		}
+	}
+	for key, n := range counts {
+		if inf, ok := infBucket[key]; !ok {
+			return fmt.Errorf("histogram %s has a _count but no +Inf bucket", key)
+		} else if inf != n {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", key, n, inf)
+		}
+	}
+	return nil
+}
+
+// stripLe removes the le label so bucket and count lines key together.
+func stripLe(labels string) string {
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if !strings.HasPrefix(part, "le=") {
+			kept = append(kept, part)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// parseSample splits `name{labels} value` or `name value`.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+		for _, part := range splitLabels(labels) {
+			eq := strings.IndexByte(part, '=')
+			if eq < 0 || !validName(part[:eq]) {
+				return "", "", 0, fmt.Errorf("malformed label %q", part)
+			}
+			v := part[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", 0, fmt.Errorf("unquoted label value %q", part)
+			}
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}

@@ -1,0 +1,90 @@
+// A small leveled logger: quiet by default (warnings and errors only),
+// raised to info/debug by cmd/avfi's -v. One logger per process keeps
+// diagnostics — engine replacements, accept retries, slow episodes —
+// on a single stream with a single format, instead of ad-hoc prints
+// scattered through internal packages.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelDebug; the
+// package default is LevelWarn.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff suppresses everything.
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return "OFF"
+}
+
+var (
+	logLevel atomic.Int32 // holds a Level; default set in init
+	logMu    sync.Mutex
+	logOut   io.Writer = os.Stderr
+)
+
+func init() { logLevel.Store(int32(LevelWarn)) }
+
+// SetLogLevel sets the minimum severity that is written.
+func SetLogLevel(l Level) { logLevel.Store(int32(l)) }
+
+// LogLevel returns the current minimum severity.
+func LogLevel() Level { return Level(logLevel.Load()) }
+
+// SetLogOutput redirects log output (os.Stderr by default). A nil w
+// restores stderr.
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if w == nil {
+		w = os.Stderr
+	}
+	logOut = w
+}
+
+func logf(l Level, format string, args ...any) {
+	if l < Level(logLevel.Load()) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	ts := time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(logOut, "%s %-5s avfi: %s\n", ts, l, msg)
+}
+
+// Debugf logs at debug severity (hidden unless -v -v territory).
+func Debugf(format string, args ...any) { logf(LevelDebug, format, args...) }
+
+// Infof logs at info severity (shown with cmd/avfi -v).
+func Infof(format string, args ...any) { logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn severity (shown by default).
+func Warnf(format string, args ...any) { logf(LevelWarn, format, args...) }
+
+// Errorf logs at error severity (shown by default).
+func Errorf(format string, args ...any) { logf(LevelError, format, args...) }

@@ -1,0 +1,132 @@
+// The status endpoint: one HTTP listener per process serving /metrics
+// (Prometheus text), /statusz (JSON snapshot assembled from registered
+// sections), /healthz, and net/http/pprof — so every member of a
+// distributed campaign fleet is individually inspectable while it runs.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// A Server is a live telemetry endpoint. Status sections are attached
+// with SetStatus and evaluated at scrape time, so /statusz always
+// reflects the moment of the request.
+type Server struct {
+	reg *Registry
+	lis net.Listener
+	srv *http.Server
+
+	mu       sync.Mutex
+	order    []string
+	sections map[string]func() any
+	started  time.Time
+}
+
+// Serve starts a telemetry endpoint on addr (host:port; port 0 picks a
+// free one) over reg, or the Default registry if reg is nil. It also
+// flips metric collection on: exposing an endpoint without collecting
+// would serve zeros forever.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	SetEnabled(true)
+	s := &Server{
+		reg:      reg,
+		lis:      lis,
+		sections: map[string]func() any{},
+		started:  time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(lis) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// SetStatus attaches (or, with a nil fn, detaches) a named /statusz
+// section. fn runs on the HTTP goroutine at scrape time and must be
+// safe to call concurrently with the workload; its result is rendered
+// as JSON.
+func (s *Server) SetStatus(name string, fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fn == nil {
+		delete(s.sections, name)
+		for i, n := range s.order {
+			if n == name {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	if _, ok := s.sections[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.sections[name] = fn
+}
+
+// Close stops serving and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Headers are gone; the truncated body is all we can signal with.
+		Errorf("telemetry: /metrics write: %v", err)
+	}
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	names := append([]string(nil), s.order...)
+	fns := make([]func() any, len(names))
+	for i, n := range names {
+		fns[i] = s.sections[n]
+	}
+	s.mu.Unlock()
+
+	status := map[string]any{
+		"process": map[string]any{
+			"pid":        os.Getpid(),
+			"go":         runtime.Version(),
+			"goroutines": runtime.NumGoroutine(),
+			"uptime_sec": time.Since(s.started).Seconds(),
+		},
+	}
+	for i, n := range names {
+		status[n] = fns[i]()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(status); err != nil {
+		Errorf("telemetry: /statusz encode: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	prev := Enabled()
+	t.Cleanup(func() { SetEnabled(prev) })
+
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !Enabled() {
+		t.Error("Serve did not enable collection")
+	}
+	base := "http://" + srv.Addr()
+
+	code, ctype, body := get(t, base+"/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	TransportBytesSent.Add(123)
+	code, ctype, body = get(t, base+"/metrics")
+	if code != 200 {
+		t.Errorf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "avfi_transport_bytes_sent_total") {
+		t.Errorf("/metrics missing transport counter:\n%s", body)
+	}
+	if err := LintPrometheus([]byte(body)); err != nil {
+		t.Errorf("/metrics exposition malformed: %v", err)
+	}
+
+	srv.SetStatus("campaign", func() any {
+		return map[string]any{"episodes_done": 7}
+	})
+	code, ctype, body = get(t, base+"/statusz")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/statusz = %d %q", code, ctype)
+	}
+	var status map[string]any
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
+	}
+	if _, ok := status["process"]; !ok {
+		t.Error("/statusz missing process section")
+	}
+	camp, ok := status["campaign"].(map[string]any)
+	if !ok || camp["episodes_done"] != float64(7) {
+		t.Errorf("/statusz campaign section = %#v", status["campaign"])
+	}
+	srv.SetStatus("campaign", nil)
+	_, _, body = get(t, base+"/statusz")
+	if strings.Contains(body, "episodes_done") {
+		t.Error("detached status section still served")
+	}
+
+	code, _, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withEnabled flips collection on for one test and restores the prior
+// state afterward, so tests compose regardless of order.
+func withEnabled(t *testing.T, on bool) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(on)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+func TestCounterGauge(t *testing.T) {
+	withEnabled(t, true)
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestDisabledInstrumentsAreInert(t *testing.T) {
+	withEnabled(t, false)
+	r := NewRegistry()
+	c := r.Counter("test_off_total", "off")
+	g := r.Gauge("test_off_depth", "off")
+	h := r.Histogram("test_off_seconds", "off", []float64{1})
+	c.Inc()
+	c.Add(10)
+	g.Set(3)
+	g.Add(9)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Total != 0 {
+		t.Error("disabled instruments recorded values")
+	}
+}
+
+// TestHistogramSemantics pins the stats.Histogram-compatible contract:
+// NaN skipped, low outliers clamp into the first bucket, high outliers
+// land in the unbounded final bucket, and Total always equals the sum
+// of bucket counts.
+func TestHistogramSemantics(t *testing.T) {
+	withEnabled(t, true)
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{math.NaN(), -5, 0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Buckets: le=1 gets -5 (clamped), 0.5, 1; le=2 gets 1.5; le=4
+	// gets 3; +Inf gets 100. NaN is skipped.
+	want := []uint64{3, 1, 1, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Total != 6 {
+		t.Errorf("total = %d, want 6", s.Total)
+	}
+	if got := s.Sum; got != -5+0.5+1+1.5+3+100 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestHistogramConcurrentSnapshotConsistent(t *testing.T) {
+	withEnabled(t, true)
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "latency", LatencyBuckets)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(seed * float64(i%100))
+			}
+		}(0.001 * float64(w+1))
+	}
+	for i := 0; i < 50; i++ {
+		s := h.Snapshot()
+		var sum uint64
+		for _, n := range s.Counts {
+			sum += n
+		}
+		if sum != s.Total {
+			t.Fatalf("snapshot total %d != bucket sum %d", s.Total, sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistrationCollisionsPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("test_dup_total", "dup")
+	mustPanic("duplicate series", func() { r.Counter("test_dup_total", "dup") })
+	mustPanic("kind mismatch", func() { r.Gauge("test_dup_total", "dup", "k", "v") })
+	mustPanic("invalid name", func() { r.Counter("bad-name", "x") })
+	mustPanic("invalid label", func() { r.Counter("test_l_total", "x", "bad-label", "v") })
+	mustPanic("odd labels", func() { r.Counter("test_o_total", "x", "k") })
+	mustPanic("no buckets", func() { r.Histogram("test_h_seconds", "x", nil) })
+	mustPanic("unsorted buckets", func() { r.Histogram("test_h2_seconds", "x", []float64{2, 1}) })
+	// Same family, different labels: allowed, not a collision.
+	r.Counter("test_kind_total", "k", "kind", "a")
+	r.Counter("test_kind_total", "k", "kind", "b")
+}
+
+func TestWritePrometheusAndLint(t *testing.T) {
+	withEnabled(t, true)
+	r := NewRegistry()
+	a := r.Counter("test_frames_total", "frames", "kind", "delta")
+	b := r.Counter("test_frames_total", "frames", "kind", "key")
+	g := r.Gauge("test_in_flight", "in flight")
+	r.GaugeFunc("test_tuned", "computed", func() float64 { return 2.5 })
+	h := r.Histogram("test_span_seconds", "span", []float64{0.1, 1}, "phase", "open")
+	a.Add(3)
+	b.Inc()
+	g.Set(-2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_frames_total counter\n",
+		`test_frames_total{kind="delta"} 3`,
+		`test_frames_total{kind="key"} 1`,
+		"test_in_flight -2",
+		"test_tuned 2.5",
+		`test_span_seconds_bucket{phase="open",le="0.1"} 1`,
+		`test_span_seconds_bucket{phase="open",le="1"} 2`,
+		`test_span_seconds_bucket{phase="open",le="+Inf"} 3`,
+		`test_span_seconds_sum{phase="open"} 9.55`,
+		`test_span_seconds_count{phase="open"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE appear once per family even with multiple series.
+	if n := strings.Count(out, "# TYPE test_frames_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times for one family", n)
+	}
+	if err := LintPrometheus(buf.Bytes()); err != nil {
+		t.Errorf("lint rejected our own exposition: %v", err)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "orphan_metric 3\n",
+		"bad value":        "# TYPE m counter\nm hello\n",
+		"bad name":         "# TYPE m counter\n2m 1\n",
+		"unquoted label":   "# TYPE m counter\nm{k=v} 1\n",
+		"bad comment":      "# NOPE m counter\n",
+		"count != +Inf":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"duplicate TYPE":   "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"unbalanced brace": "# TYPE m counter\nm{k=\"v\" 1\n",
+	}
+	for name, body := range cases {
+		if err := LintPrometheus([]byte(body)); err == nil {
+			t.Errorf("lint accepted %s:\n%s", name, body)
+		}
+	}
+	good := "# HELP m things\n# TYPE m counter\nm{k=\"v\"} 1\nm 2 1700000000\n"
+	if err := LintPrometheus([]byte(good)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}
+
+func TestLogLevels(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	t.Cleanup(func() { SetLogOutput(nil) })
+	prev := LogLevel()
+	t.Cleanup(func() { SetLogLevel(prev) })
+
+	SetLogLevel(LevelWarn)
+	Debugf("hidden %d", 1)
+	Infof("hidden %d", 2)
+	Warnf("visible %d", 3)
+	Errorf("visible %d", 4)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("quiet level leaked info/debug lines:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  avfi: visible 3") || !strings.Contains(out, "ERROR avfi: visible 4") {
+		t.Errorf("warn/error lines missing:\n%s", out)
+	}
+
+	buf.Reset()
+	SetLogLevel(LevelInfo)
+	Infof("now shown")
+	if !strings.Contains(buf.String(), "INFO  avfi: now shown") {
+		t.Errorf("-v level did not show info:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	SetLogLevel(LevelOff)
+	Errorf("silenced")
+	if buf.Len() != 0 {
+		t.Errorf("LevelOff still wrote: %s", buf.String())
+	}
+}

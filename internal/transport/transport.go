@@ -25,6 +25,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/avfi/avfi/internal/telemetry"
 )
 
 // MaxFrame bounds one framed message (must cover an encoded camera frame).
@@ -71,11 +73,13 @@ var (
 // getBuf returns a message buffer of length n, reusing a recycled buffer
 // when one with enough capacity is available.
 func getBuf(n int) []byte {
+	telemetry.TransportBufGets.Inc()
 	if p, ok := fullBufs.Get().(*[]byte); ok {
 		b := *p
 		*p = nil
 		emptyBufs.Put(p)
 		if cap(b) >= n {
+			telemetry.TransportBufHits.Inc()
 			return b[:n]
 		}
 	}
@@ -92,6 +96,7 @@ func Recycle(buf []byte) {
 	if cap(buf) == 0 {
 		return
 	}
+	telemetry.TransportBufRecycles.Inc()
 	p, ok := emptyBufs.Get().(*[]byte)
 	if !ok {
 		p = new([]byte)
@@ -143,6 +148,8 @@ func (c *pipeConn) Send(msg []byte) error {
 		Recycle(cp)
 		return ErrClosed
 	case c.send <- cp:
+		telemetry.TransportMsgsSent.Inc()
+		telemetry.TransportBytesSent.Add(uint64(len(msg)))
 		return nil
 	}
 }
@@ -162,23 +169,30 @@ func (c *pipeConn) SendBatch(msgs [][]byte) error {
 func (c *pipeConn) Recv() ([]byte, error) {
 	select {
 	case msg := <-c.recv:
-		return msg, nil
+		return recvDone(msg), nil
 	default:
 	}
 	select {
 	case msg := <-c.recv:
-		return msg, nil
+		return recvDone(msg), nil
 	case <-c.closed:
 		return nil, ErrClosed
 	case <-c.peer.closed:
 		// Drain anything the peer sent before closing.
 		select {
 		case msg := <-c.recv:
-			return msg, nil
+			return recvDone(msg), nil
 		default:
 			return nil, ErrClosed
 		}
 	}
+}
+
+// recvDone counts one delivered message on the receive instruments.
+func recvDone(msg []byte) []byte {
+	telemetry.TransportMsgsRecv.Inc()
+	telemetry.TransportBytesRecv.Add(uint64(len(msg)))
+	return msg
 }
 
 // Close implements Conn.
@@ -293,6 +307,9 @@ func (t *tcpConn) Send(msg []byte) error {
 	if err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
+	telemetry.TransportMsgsSent.Inc()
+	telemetry.TransportBytesSent.Add(uint64(4 + len(msg)))
+	telemetry.TransportWritevBatch.Observe(1)
 	return nil
 }
 
@@ -337,6 +354,13 @@ func (t *tcpConn) SendBatch(msgs [][]byte) error {
 	if err != nil {
 		return fmt.Errorf("transport: write batch: %w", err)
 	}
+	total := 0
+	for _, msg := range msgs {
+		total += 4 + len(msg)
+	}
+	telemetry.TransportMsgsSent.Add(uint64(len(msgs)))
+	telemetry.TransportBytesSent.Add(uint64(total))
+	telemetry.TransportWritevBatch.Observe(float64(len(msgs)))
 	return nil
 }
 
@@ -360,6 +384,8 @@ func (t *tcpConn) Recv() ([]byte, error) {
 		Recycle(buf)
 		return nil, fmt.Errorf("transport: read body: %w", err)
 	}
+	telemetry.TransportMsgsRecv.Inc()
+	telemetry.TransportBytesRecv.Add(uint64(4 + n))
 	return buf, nil
 }
 
