@@ -255,6 +255,42 @@ const (
 	WeatherFog   = world.WeatherFog
 )
 
+// Campaign service: the long-lived control plane that owns one shared
+// engine fleet, lets workers announce themselves (mid-campaign included),
+// and schedules many concurrent campaigns fairly over it (avfi -service
+// is this, as a process; see NewCampaignService).
+type (
+	// CampaignService is the control plane: worker registry, campaign
+	// submission, fair multi-campaign scheduling, results buffering.
+	CampaignService = campaign.Service
+	// CampaignServiceConfig parameterizes a CampaignService.
+	CampaignServiceConfig = campaign.ServiceConfig
+	// CampaignSpec is one declarative campaign submission (the JSON body
+	// of POST /campaigns).
+	CampaignSpec = campaign.CampaignSpec
+	// MatrixSpec is CampaignSpec's scenario-matrix form.
+	MatrixSpec = campaign.MatrixSpec
+	// AdaptiveSpec is CampaignSpec's adaptive-allocation form.
+	AdaptiveSpec = campaign.AdaptiveSpec
+	// CampaignInfo is one submitted campaign's API view (spec, buffered
+	// record count, live status).
+	CampaignInfo = campaign.CampaignInfo
+	// WorkerInfo is one registered worker's API view.
+	WorkerInfo = campaign.WorkerInfo
+	// WorldMismatchError reports a dialed worker serving a different
+	// world configuration than the campaign's (check with errors.As).
+	WorldMismatchError = campaign.WorldMismatchError
+)
+
+// NewCampaignService starts the campaign control plane: it resolves the
+// agent once, fingerprints the world for the worker handshake, and begins
+// re-dialing registered workers that are down. Mount svc.Handler() on a
+// TelemetryServer (srv.Handle("/campaigns", ...) — or just use avfi
+// -service) to expose the HTTP API, and Close it to tear the fleet down.
+func NewCampaignService(cfg CampaignServiceConfig) (*CampaignService, error) {
+	return campaign.NewService(cfg)
+}
+
 // Telemetry and observability: every AVFI process can expose its live
 // metrics (Prometheus text), a JSON status snapshot, health, and pprof on
 // one address (cmd/avfi's -status-addr does exactly this).
@@ -469,9 +505,14 @@ func SniffRecordFormat(prefix []byte) RecordFormat {
 // worker's whole lifetime (avfi -serve is this, as a process). A campaign
 // whose PoolConfig.Backends lists the worker's address produces results
 // bit-identical to an in-process run, provided the worker's world
-// configuration matches the campaign's.
+// configuration matches the campaign's. The worker announces that
+// configuration's fingerprint in its capability hello, so a mismatched
+// campaign (or CampaignService) rejects the pairing at dial time instead
+// of silently producing divergent results.
 func NewSimWorker(w *World) *SimWorker {
-	return simserver.NewWorker(simserver.WorldFactory(w))
+	wk := simserver.NewWorker(simserver.WorldFactory(w))
+	wk.SetWorldHash(w.Config().Hash())
+	return wk
 }
 
 // ShardLogName names shard i's JSONL record log inside a sharded

@@ -75,6 +75,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -130,6 +132,8 @@ func run(ctx context.Context) error {
 		resumePath = flag.String("resume", "", "resume from this episode log (or shard directory, either record format): recorded episodes are not re-run")
 		recordFmt  = flag.String("record-format", "auto", "record log format for -stream-records: jsonl|binary (auto = binary for a fresh run, the existing log's format when appending)")
 		serveAddr  = flag.String("serve", "", "run as a simulator worker on this address (e.g. :7070) instead of a campaign")
+		joinURL    = flag.String("join", "", "with -serve: announce this worker to a campaign service at this base URL (e.g. http://host:8080), retrying until the service is up")
+		svcAddr    = flag.String("service", "", "run as a long-lived campaign service on this address (e.g. :8080): workers announce via POST /workers, campaigns submit via POST /campaigns, all sharing /metrics and /statusz")
 		backends   = flag.String("backends", "", "comma-separated remote worker addresses; the campaign dials these instead of spawning in-process engines")
 		fullFrames = flag.Bool("full-frames", false, "disable delta-encoded sensor frames (diagnostic; results are bit-identical either way)")
 		statusAddr = flag.String("status-addr", "", "serve live observability on this address (e.g. :6060): /metrics, /statusz, /healthz, /debug/pprof — for campaigns and -serve workers alike")
@@ -140,6 +144,17 @@ func run(ctx context.Context) error {
 
 	if *verbose {
 		avfi.SetLogLevel(avfi.LogInfo)
+	}
+	if *svcAddr != "" {
+		if *serveAddr != "" {
+			return fmt.Errorf("-service and -serve are mutually exclusive (a process is the control plane or a worker, not both)")
+		}
+		if *statusAddr != "" {
+			return fmt.Errorf("-service serves /metrics and /statusz on its own address; drop -status-addr")
+		}
+	}
+	if *joinURL != "" && *serveAddr == "" {
+		return fmt.Errorf("-join requires -serve (only workers announce themselves)")
 	}
 	var statusSrv *avfi.TelemetryServer
 	if *statusAddr != "" {
@@ -158,8 +173,15 @@ func run(ctx context.Context) error {
 		return nil
 	}
 
+	if *svcAddr != "" {
+		agentSrc, err := agentSource(*agentPath)
+		if err != nil {
+			return err
+		}
+		return runService(ctx, *svcAddr, agentSrc, *parallel, *retries, os.Stderr)
+	}
 	if *serveAddr != "" {
-		return serveWorker(ctx, *serveAddr, avfi.DefaultWorldConfig(), os.Stderr, statusSrv)
+		return serveWorker(ctx, *serveAddr, avfi.DefaultWorldConfig(), os.Stderr, statusSrv, *joinURL)
 	}
 	backendList, err := parseBackends(*backends)
 	if err != nil {
@@ -394,7 +416,7 @@ func run(ctx context.Context) error {
 // cancelled (SIGINT/SIGTERM in main). The bound address is announced on
 // out — with ":0", that line is how callers learn the port. A non-nil
 // statusSrv gets a "worker" /statusz section for the worker's lifetime.
-func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io.Writer, statusSrv *avfi.TelemetryServer) error {
+func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io.Writer, statusSrv *avfi.TelemetryServer, joinURL string) error {
 	w, err := avfi.NewWorld(wcfg)
 	if err != nil {
 		return err
@@ -408,6 +430,18 @@ func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io
 		statusSrv.SetStatus("worker", func() any { return worker.Status() })
 	}
 	fmt.Fprintf(out, "worker: serving simulator backend on %s\n", bound)
+	if joinURL != "" {
+		announce := announceAddr(bound)
+		go func() {
+			if err := announceWorker(ctx, joinURL, announce); err != nil {
+				// The worker keeps serving either way: a campaign can still
+				// dial it directly via -backends.
+				fmt.Fprintf(out, "worker: announce to %s failed: %v\n", joinURL, err)
+				return
+			}
+			fmt.Fprintf(out, "worker: announced %s to %s\n", announce, joinURL)
+		}()
+	}
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -423,6 +457,97 @@ func serveWorker(ctx context.Context, addr string, wcfg avfi.WorldConfig, out io
 		return nil
 	}
 	return err
+}
+
+// runService runs the process as the long-lived campaign control plane:
+// one shared engine fleet, a worker announce endpoint, and the campaign
+// submit/status/results API — all mounted on the telemetry endpoint so a
+// single address serves the API, /metrics, /statusz and pprof. Blocks
+// until SIGINT/SIGTERM.
+func runService(ctx context.Context, addr string, agentSrc avfi.AgentSource, parallel, retries int, out io.Writer) error {
+	svc, err := avfi.NewCampaignService(avfi.CampaignServiceConfig{
+		World:          avfi.DefaultWorldConfig(),
+		Agent:          agentSrc,
+		Parallelism:    parallel,
+		DefaultRetries: retries,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	srv, err := avfi.ServeTelemetry(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	h := svc.Handler()
+	srv.Handle("/campaigns", h)
+	srv.Handle("/campaigns/", h)
+	srv.Handle("/workers", h)
+	srv.SetStatus("service", func() any { return svc.Status() })
+	fmt.Fprintf(out, "service: campaign control plane on %s (POST /workers to join, POST /campaigns to submit; /metrics, /statusz)\n", srv.Addr())
+	<-ctx.Done()
+	fmt.Fprintln(out, "service: shutting down")
+	return nil
+}
+
+// announceAddr rewrites a worker's bound listen address into one a
+// service on the same host (or CI runner) can dial back: an unspecified
+// host (":7070", "0.0.0.0:7070", "[::]:7070") becomes loopback. Workers
+// reachable only on a specific interface should -serve that address
+// explicitly.
+func announceAddr(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return bound
+}
+
+// announceWorker POSTs the worker's address to the service's /workers
+// endpoint, retrying while the service is still coming up. The budget
+// is generous because a freshly launched service may train its agent
+// in-process for minutes before it starts listening. A 409 means the
+// service rejected the pairing outright (world-configuration mismatch)
+// — retrying cannot help, so it fails immediately.
+func announceWorker(ctx context.Context, baseURL, addr string) error {
+	const attempts = 600
+	url := strings.TrimSuffix(baseURL, "/") + "/workers"
+	body := fmt.Sprintf(`{"addr":%q}`+"\n", addr)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Second):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusConflict:
+			return fmt.Errorf("service rejected this worker: %s", strings.TrimSpace(string(msg)))
+		default:
+			lastErr = fmt.Errorf("announce: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+	}
+	return fmt.Errorf("giving up after %d attempts: %w", attempts, lastErr)
 }
 
 // parseBackends splits the -backends list, rejecting empty entries (the

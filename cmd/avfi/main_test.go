@@ -108,7 +108,7 @@ func (b *syncBuffer) String() string {
 }
 
 func TestServeWorkerInvalidAddress(t *testing.T) {
-	err := serveWorker(context.Background(), "definitely.not.a.host:notaport", tinyServeWorld(), &syncBuffer{}, nil)
+	err := serveWorker(context.Background(), "definitely.not.a.host:notaport", tinyServeWorld(), &syncBuffer{}, nil, "")
 	if err == nil {
 		t.Fatal("serveWorker accepted an unparseable address")
 	}
@@ -120,7 +120,7 @@ func TestServeWorkerAlreadyBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if err := serveWorker(context.Background(), l.Addr().String(), tinyServeWorld(), &syncBuffer{}, nil); err == nil {
+	if err := serveWorker(context.Background(), l.Addr().String(), tinyServeWorld(), &syncBuffer{}, nil, ""); err == nil {
 		t.Fatal("serveWorker bound an address another listener holds")
 	}
 }
@@ -144,7 +144,7 @@ func TestServeWorkerGracefulContextCancel(t *testing.T) {
 	defer cancel()
 	out := &syncBuffer{}
 	done := make(chan error, 1)
-	go func() { done <- serveWorker(ctx, "127.0.0.1:0", tinyServeWorld(), out, nil) }()
+	go func() { done <- serveWorker(ctx, "127.0.0.1:0", tinyServeWorld(), out, nil, "") }()
 	waitForServing(t, out)
 	cancel()
 	select {
@@ -167,7 +167,7 @@ func TestServeWorkerGracefulSIGTERM(t *testing.T) {
 	defer stop()
 	out := &syncBuffer{}
 	done := make(chan error, 1)
-	go func() { done <- serveWorker(ctx, "127.0.0.1:0", tinyServeWorld(), out, nil) }()
+	go func() { done <- serveWorker(ctx, "127.0.0.1:0", tinyServeWorld(), out, nil, "") }()
 	waitForServing(t, out)
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)

@@ -151,6 +151,15 @@ type Config struct {
 	// Seed drives all campaign randomness.
 	Seed uint64
 
+	// fleet, when set, runs the campaign on a Service's shared engine pool
+	// instead of starting (and tearing down) its own: dispatch is gated
+	// round-robin across the fleet's active campaigns (see fairGate), and
+	// the pool outlives this campaign. Set only by Service.Submit.
+	fleet *sharedFleet
+	// fleetID labels this campaign's dispatches at the fleet's fairness
+	// gate (and its per-campaign telemetry series).
+	fleetID string
+
 	// testFactoryWrap, when set (tests only), wraps each engine's episode
 	// factory — the hook fault-tolerance tests use to inject transient
 	// backend failures.
@@ -336,6 +345,8 @@ type Runner struct {
 	cells []runCell
 	// backendSeq drives the round-robin rotation over Pool.Backends.
 	backendSeq atomic.Uint64
+	// worldHash fingerprints cfg.World for the dial-time handshake.
+	worldHash uint64
 	// status is the live progress snapshot behind Runner.Status (status.go).
 	status runnerStatus
 }
@@ -357,7 +368,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, err
 		}
 	}
-	r := &Runner{cfg: cfg, world: w, agent: a}
+	r := &Runner{cfg: cfg, world: w, agent: a, worldHash: cfg.World.Hash()}
 	if cfg.Matrix != nil {
 		for _, c := range cfg.Matrix.Cells() {
 			r.cells = append(r.cells, runCell{

@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+)
+
+// fairGate admits episode dispatches onto a shared fleet with round-robin
+// fairness across campaigns. It is a counting semaphore (capacity = the
+// fleet's episode parallelism) whose waiters are queued per campaign:
+// when a slot frees, it is granted to the next campaign in rotation that
+// has a waiter, so N concurrent campaigns each make progress every
+// scheduling epoch — one busy campaign with thousands of queued episodes
+// cannot starve a small one, and a lone campaign still gets the whole
+// fleet (slots are granted immediately whenever nobody else waits).
+type fairGate struct {
+	mu       sync.Mutex
+	capacity int
+	free     int
+	queues   map[string][]chan struct{} // per-campaign FIFO of waiters
+	ring     []string                   // campaign rotation (first-wait order)
+	next     int                        // ring cursor: next campaign to favor
+
+	// grantLog, when recording, appends the campaign id of every grant in
+	// grant order — the fairness tests' observable.
+	recording bool
+	grantLog  []string
+}
+
+// newFairGate builds a gate admitting up to capacity concurrent episodes.
+func newFairGate(capacity int) *fairGate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &fairGate{
+		capacity: capacity,
+		free:     capacity,
+		queues:   make(map[string][]chan struct{}),
+	}
+}
+
+// acquire blocks until the campaign id is granted a dispatch slot or ctx
+// is done. Every acquire must be paired with exactly one release.
+func (g *fairGate) acquire(ctx context.Context, id string) error {
+	g.mu.Lock()
+	if g.free > 0 {
+		// A free slot means no one is waiting (release hands busy slots
+		// directly to waiters), so granting immediately cannot starve.
+		g.free--
+		g.noteGrant(id)
+		g.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	g.queues[id] = append(g.queues[id], ch)
+	g.ensureRingMember(id)
+	g.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		q := g.queues[id]
+		for i, w := range q {
+			if w == ch {
+				g.queues[id] = append(q[:i:i], q[i+1:]...)
+				g.mu.Unlock()
+				return context.Cause(ctx)
+			}
+		}
+		// Not queued anymore: the grant raced the cancellation and this
+		// waiter owns a slot it will never use — pass it on.
+		g.releaseLocked()
+		g.mu.Unlock()
+		return context.Cause(ctx)
+	}
+}
+
+// release returns a slot granted by acquire, handing it to the next
+// campaign in rotation with a waiter (or back to the free count).
+func (g *fairGate) release() {
+	g.mu.Lock()
+	g.releaseLocked()
+	g.mu.Unlock()
+}
+
+// releaseLocked grants the freed slot round-robin. Requires g.mu.
+func (g *fairGate) releaseLocked() {
+	for i := 0; i < len(g.ring); i++ {
+		idx := (g.next + i) % len(g.ring)
+		id := g.ring[idx]
+		q := g.queues[id]
+		if len(q) == 0 {
+			continue
+		}
+		g.queues[id] = q[1:]
+		g.next = (idx + 1) % len(g.ring)
+		g.noteGrant(id)
+		close(q[0])
+		return
+	}
+	g.free++
+}
+
+// ensureRingMember adds id to the rotation on its first wait. Finished
+// campaigns linger in the ring with empty queues — releaseLocked skips
+// them, and the ring stays small (campaigns per service lifetime).
+func (g *fairGate) ensureRingMember(id string) {
+	for _, r := range g.ring {
+		if r == id {
+			return
+		}
+	}
+	g.ring = append(g.ring, id)
+}
+
+// record switches grant logging on (tests only). Call before any acquire.
+func (g *fairGate) record() {
+	g.mu.Lock()
+	g.recording = true
+	g.mu.Unlock()
+}
+
+// grants snapshots the grant log. Requires record() beforehand.
+func (g *fairGate) grants() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.grantLog...)
+}
+
+// noteGrant appends to the grant log when recording. Requires g.mu.
+func (g *fairGate) noteGrant(id string) {
+	if g.recording {
+		g.grantLog = append(g.grantLog, id)
+	}
+}

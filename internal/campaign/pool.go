@@ -195,6 +195,57 @@ func (r *Runner) startEngine() (*engine, error) {
 // the surviving backends.
 const backendDialTimeout = 3 * time.Second
 
+// WorldMismatchError is returned when a dialed worker announces a world
+// configuration fingerprint different from the campaign's: every episode
+// the pairing ran would silently break bit-identity, so the dial fails
+// fast instead. It is not a transient episode error — retrying the same
+// worker cannot fix a configuration mismatch.
+type WorldMismatchError struct {
+	// Backend is the worker address that was dialed.
+	Backend string
+	// Want is the campaign's world hash; Got the worker's.
+	Want, Got uint64
+}
+
+// Error implements error.
+func (e *WorldMismatchError) Error() string {
+	return fmt.Sprintf("campaign: backend %s serves world %016x, campaign needs %016x (world config mismatch)",
+		e.Backend, e.Got, e.Want)
+}
+
+// dialWorkerEngine dials one remote worker and verifies its announced
+// world fingerprint against want before any episode is dispatched. A
+// worker announcing a different world is rejected with WorldMismatchError;
+// a worker announcing no hash (legacy, predating world announcement) is
+// paired anyway with a logged warning — the operator keeps responsibility
+// for world identity, exactly the pre-handshake contract.
+func dialWorkerEngine(addr string, batchOpens int, fullFrames bool, want uint64) (*engine, error) {
+	conn, err := transport.DialTimeout(addr, backendDialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: backend %s: %w", addr, err)
+	}
+	client := simclient.NewClient(conn)
+	client.SetBatchOpens(batchOpens)
+	client.SetDeltaFrames(!fullFrames)
+	if client.WaitServerHello(backendDialTimeout) {
+		if got, ok := client.ServerWorldHash(); ok {
+			if got != want {
+				client.Close()
+				return nil, &WorldMismatchError{Backend: addr, Want: want, Got: got}
+			}
+		} else {
+			telemetry.Warnf("campaign: backend %s announced no world hash (legacy worker); pairing without world verification", addr)
+		}
+	} else {
+		telemetry.Warnf("campaign: backend %s sent no capability hello (legacy worker); pairing without world verification", addr)
+	}
+	return &engine{
+		transport: "remote",
+		backend:   addr,
+		client:    client,
+	}, nil
+}
+
 // dialBackend starts one remote engine slot: a connection to the next
 // worker address in round-robin rotation. The rotation advances on every
 // start — including replacements — so a dead worker's slot migrates onto a
@@ -202,18 +253,7 @@ const backendDialTimeout = 3 * time.Second
 func (r *Runner) dialBackend() (*engine, error) {
 	backends := r.cfg.Pool.Backends
 	addr := backends[int((r.backendSeq.Add(1)-1)%uint64(len(backends)))]
-	conn, err := transport.DialTimeout(addr, backendDialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("campaign: backend %s: %w", addr, err)
-	}
-	client := simclient.NewClient(conn)
-	client.SetBatchOpens(r.cfg.Pool.batchLimit(true))
-	client.SetDeltaFrames(!r.cfg.Pool.FullFrames)
-	return &engine{
-		transport: "remote",
-		backend:   addr,
-		client:    client,
-	}, nil
+	return dialWorkerEngine(addr, r.cfg.Pool.batchLimit(true), r.cfg.Pool.FullFrames, r.worldHash)
 }
 
 // stashedResult consults the in-process server's result stash — the
@@ -368,6 +408,32 @@ func (p *enginePool) fail(e *engine) {
 	p.mu.Lock()
 	e.dead = true
 	p.mu.Unlock()
+}
+
+// addSlot grows the pool by one freshly started engine — the campaign
+// service's join path: a worker announcing itself mid-campaign becomes a
+// new live slot that the very next acquire can dispatch onto, the grow
+// direction complementing replaceLocked's dead-slot migration.
+func (p *enginePool) addSlot(e *engine) {
+	p.mu.Lock()
+	e.id = len(p.engines) + len(p.retired)
+	p.engines = append(p.engines, e)
+	p.mu.Unlock()
+}
+
+// liveSlots counts healthy engine slots per backend address — how much of
+// the pool each remote worker is currently serving. The service's registry
+// uses it to decide which registered workers need a (re)dial.
+func (p *enginePool) liveSlots() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := make(map[string]int)
+	for _, e := range p.engines {
+		if e.healthy() {
+			m[e.backend]++
+		}
+	}
+	return m
 }
 
 // noteRetry counts one episode re-dispatch.

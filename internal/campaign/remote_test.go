@@ -30,6 +30,7 @@ func startTestWorkers(t testing.TB, n int) ([]string, []*simserver.Worker) {
 			t.Fatal(err)
 		}
 		wk := simserver.NewWorker(simserver.WorldFactory(w))
+		wk.SetWorldHash(tinyWorldConfig().Hash())
 		addr, err := wk.Listen("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)

@@ -60,6 +60,12 @@ type scheduler struct {
 	pool       *enginePool
 	run        func(*engine, job) (metrics.EpisodeRecord, error)
 	maxRetries int
+	// gate, when non-nil, throttles dispatch onto a shared fleet with
+	// round-robin fairness across campaigns; gateID is this campaign's
+	// identity at the gate. A slot is held across retry attempts — a
+	// retried episode is still one episode of fleet work.
+	gate   *fairGate
+	gateID string
 }
 
 // runJob executes one episode, re-dispatching it (onto the then
@@ -67,6 +73,12 @@ type scheduler struct {
 // Episodes are a pure function of their seed, so a retried episode produces
 // the identical record a first-try success would have.
 func (s *scheduler) runJob(ctx context.Context, j job) (metrics.EpisodeRecord, error) {
+	if s.gate != nil {
+		if err := s.gate.acquire(ctx, s.gateID); err != nil {
+			return metrics.EpisodeRecord{}, err
+		}
+		defer s.gate.release()
+	}
 	spans := telemetry.Enabled()
 	for attempt := 0; ; attempt++ {
 		if err := context.Cause(ctx); err != nil {
@@ -113,12 +125,38 @@ type runSession struct {
 	pool        *enginePool
 	sched       *scheduler
 	parallelism int
+	// shared marks a session borrowing a Service's fleet pool: close is a
+	// no-op (the pool outlives this campaign) and dispatch runs behind the
+	// fleet's fairness gate.
+	shared bool
 }
 
 // newRunSession sizes the worker pool and starts the engines. maxBatch
 // bounds useful parallelism: no single runJobs call will carry more jobs
-// than it, so workers (and engines) beyond it would idle.
+// than it, so workers (and engines) beyond it would idle. Campaigns
+// submitted to a Service (cfg.fleet) borrow the fleet's long-lived pool
+// instead of starting engines of their own.
 func (r *Runner) newRunSession(maxBatch int) (*runSession, error) {
+	run := r.runEpisode
+	if r.cfg.testRunEpisode != nil {
+		run = r.cfg.testRunEpisode
+	}
+	if fl := r.cfg.fleet; fl != nil {
+		parallelism := fl.parallelism
+		if parallelism > maxBatch {
+			parallelism = maxBatch
+		}
+		if parallelism < 1 {
+			parallelism = 1
+		}
+		return &runSession{
+			pool: fl.pool,
+			sched: &scheduler{pool: fl.pool, run: run, maxRetries: r.cfg.Pool.MaxRetries,
+				gate: fl.gate, gateID: r.cfg.fleetID},
+			parallelism: parallelism,
+			shared:      true,
+		}, nil
+	}
 	parallelism := r.cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
@@ -132,10 +170,6 @@ func (r *Runner) newRunSession(maxBatch int) (*runSession, error) {
 	pool, err := newEnginePool(r.startEngine, r.cfg.Pool.PoolSize(parallelism))
 	if err != nil {
 		return nil, err
-	}
-	run := r.runEpisode
-	if r.cfg.testRunEpisode != nil {
-		run = r.cfg.testRunEpisode
 	}
 	return &runSession{
 		pool:        pool,
@@ -202,8 +236,14 @@ feed:
 	wg.Wait()
 }
 
-// close tears the session's engine pool down.
-func (s *runSession) close() error { return s.pool.close() }
+// close tears the session's engine pool down. Sessions on a shared fleet
+// leave the pool alone — it belongs to the Service and outlives them.
+func (s *runSession) close() error {
+	if s.shared {
+		return nil
+	}
+	return s.pool.close()
+}
 
 // Run executes the full sweep and aggregates reports; it is RunContext
 // without external cancellation.

@@ -1,0 +1,216 @@
+// Declarative campaign specs: the JSON surface of the service's submit
+// API. A CampaignSpec names what to run — injectors, grid shape, optional
+// scenario matrix and adaptive allocation — and buildConfig lowers it
+// onto the service's shared world, agent and fleet. Specs are data, not
+// code: everything a client can express here keeps the bit-identity
+// contract (episodes remain a pure function of the spec and its seed).
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/avfi/avfi/internal/adaptive"
+	"github.com/avfi/avfi/internal/world"
+)
+
+// CampaignSpec is one campaign submission (POST /campaigns). The flat
+// fields describe the classic injector sweep; Matrix crosses the
+// injectors with environmental dimensions instead (the flat weather/
+// density/AEB fields are then ignored); Adaptive switches from the
+// exhaustive sweep to risk-driven episode allocation.
+type CampaignSpec struct {
+	// Injectors are the fault columns, resolved through the fault
+	// registry (include "noop" for the baseline bar).
+	Injectors []string `json:"injectors"`
+	// Missions and Repetitions shape the episode grid.
+	Missions    int `json:"missions"`
+	Repetitions int `json:"repetitions"`
+	// Seed drives all campaign randomness.
+	Seed uint64 `json:"seed"`
+	// Weather is "clear" (default), "rain" or "fog".
+	Weather string `json:"weather,omitempty"`
+	// NPCs and Pedestrians populate each episode.
+	NPCs        int `json:"npcs,omitempty"`
+	Pedestrians int `json:"pedestrians,omitempty"`
+	// AEB installs the independent emergency-braking monitor.
+	AEB bool `json:"aeb,omitempty"`
+	// Matrix, when set, crosses Injectors with scenario dimensions.
+	Matrix *MatrixSpec `json:"matrix,omitempty"`
+	// Adaptive, when set, runs risk-driven allocation instead of the
+	// exhaustive sweep.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+	// MaxRetries overrides the service's default per-episode transient
+	// retry bound (0 = service default).
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// MatrixSpec is the JSON form of ScenarioMatrix (injector columns come
+// from CampaignSpec.Injectors).
+type MatrixSpec struct {
+	// Weathers lists conditions to cross ("clear", "rain", "fog").
+	Weathers []string `json:"weathers,omitempty"`
+	// Densities lists traffic levels as "NxP" (NPCs x pedestrians),
+	// e.g. "10x4".
+	Densities []string `json:"densities,omitempty"`
+	// AEB is "off" (default), "on", or "both" (the ablation pair).
+	AEB string `json:"aeb,omitempty"`
+	// ActivationFrames lists windowed fault-activation frames to cross.
+	ActivationFrames []int `json:"activation_frames,omitempty"`
+}
+
+// AdaptiveSpec is the JSON form of AdaptiveConfig.
+type AdaptiveSpec struct {
+	// Policy is "uniform", "halving" (alias "successive-halving"), or
+	// "ucb".
+	Policy string `json:"policy"`
+	// Budget is the total fresh-episode budget (0 = full grid).
+	Budget int `json:"budget,omitempty"`
+	// RoundSize is episodes per plan->observe->reallocate round
+	// (0 = default sizing).
+	RoundSize int `json:"round_size,omitempty"`
+}
+
+// parseWeatherName resolves a spec weather label ("" = clear).
+func parseWeatherName(name string) (world.Weather, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "clear":
+		return world.WeatherClear, nil
+	case "rain":
+		return world.WeatherRain, nil
+	case "fog":
+		return world.WeatherFog, nil
+	default:
+		return 0, fmt.Errorf("campaign: unknown weather %q (want clear, rain or fog)", name)
+	}
+}
+
+// parseDensitySpec resolves one "NxP" traffic level.
+func parseDensitySpec(s string) (Density, error) {
+	npcs, peds, ok := strings.Cut(strings.TrimSpace(s), "x")
+	if !ok {
+		return Density{}, fmt.Errorf("campaign: density %q is not NxP (e.g. 10x4)", s)
+	}
+	n, err := strconv.Atoi(npcs)
+	if err != nil {
+		return Density{}, fmt.Errorf("campaign: density %q: bad NPC count: %w", s, err)
+	}
+	p, err := strconv.Atoi(peds)
+	if err != nil {
+		return Density{}, fmt.Errorf("campaign: density %q: bad pedestrian count: %w", s, err)
+	}
+	return Density{NPCs: n, Pedestrians: p}, nil
+}
+
+// parseAEBSpec resolves a matrix AEB dimension label.
+func parseAEBSpec(s string) ([]bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off":
+		return nil, nil // neutral level (AEB off)
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	default:
+		return nil, fmt.Errorf("campaign: matrix aeb %q (want off, on or both)", s)
+	}
+}
+
+// matrix lowers the spec onto ScenarioMatrix with the given injector
+// columns.
+func (m *MatrixSpec) matrix(injectors []InjectorSource) (*ScenarioMatrix, error) {
+	out := &ScenarioMatrix{Injectors: injectors, ActivationFrames: m.ActivationFrames}
+	for _, name := range m.Weathers {
+		w, err := parseWeatherName(name)
+		if err != nil {
+			return nil, err
+		}
+		out.Weathers = append(out.Weathers, w)
+	}
+	for _, d := range m.Densities {
+		den, err := parseDensitySpec(d)
+		if err != nil {
+			return nil, err
+		}
+		out.Densities = append(out.Densities, den)
+	}
+	aeb, err := parseAEBSpec(m.AEB)
+	if err != nil {
+		return nil, err
+	}
+	out.AEB = aeb
+	return out, nil
+}
+
+// adaptiveConfig lowers the spec onto AdaptiveConfig.
+func (a *AdaptiveSpec) adaptiveConfig() (*AdaptiveConfig, error) {
+	pol, err := adaptive.ParsePolicy(a.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: adaptive spec: %w", err)
+	}
+	if a.Budget < 0 || a.RoundSize < 0 {
+		return nil, fmt.Errorf("campaign: adaptive spec: budget=%d round_size=%d must be non-negative",
+			a.Budget, a.RoundSize)
+	}
+	return &AdaptiveConfig{Policy: pol, Budget: a.Budget, RoundSize: a.RoundSize}, nil
+}
+
+// buildConfig lowers a submission onto the service's world, agent and
+// shared fleet. The returned Config streams records to sink and discards
+// in-memory retention (the service's results buffer is the only copy);
+// Submit attaches the Progress hook afterwards.
+func (s *Service) buildConfig(spec CampaignSpec, sink RecordSink, id string) (Config, *AdaptiveConfig, error) {
+	if len(spec.Injectors) == 0 {
+		return Config{}, nil, fmt.Errorf("campaign: spec has no injectors")
+	}
+	injectors := make([]InjectorSource, 0, len(spec.Injectors))
+	for _, name := range spec.Injectors {
+		if strings.TrimSpace(name) == "" {
+			return Config{}, nil, fmt.Errorf("campaign: spec has an empty injector name")
+		}
+		injectors = append(injectors, Registry(name))
+	}
+	retries := spec.MaxRetries
+	if retries <= 0 {
+		retries = s.cfg.DefaultRetries
+	}
+	cfg := Config{
+		World:          s.cfg.World,
+		Agent:          AgentSource{Agent: s.agent},
+		Missions:       spec.Missions,
+		Repetitions:    spec.Repetitions,
+		Seed:           spec.Seed,
+		Pool:           PoolConfig{MaxRetries: retries},
+		Sink:           sink,
+		DiscardRecords: true,
+		fleet:          s.fleet,
+		fleetID:        id,
+	}
+	if spec.Matrix != nil {
+		m, err := spec.Matrix.matrix(injectors)
+		if err != nil {
+			return Config{}, nil, err
+		}
+		cfg.Matrix = m
+	} else {
+		w, err := parseWeatherName(spec.Weather)
+		if err != nil {
+			return Config{}, nil, err
+		}
+		cfg.Injectors = injectors
+		cfg.Weather = w
+		cfg.NumNPCs = spec.NPCs
+		cfg.NumPedestrians = spec.Pedestrians
+		cfg.EnableAEB = spec.AEB
+	}
+	var acfg *AdaptiveConfig
+	if spec.Adaptive != nil {
+		var err error
+		acfg, err = spec.Adaptive.adaptiveConfig()
+		if err != nil {
+			return Config{}, nil, err
+		}
+	}
+	return cfg, acfg, nil
+}

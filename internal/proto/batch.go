@@ -19,6 +19,7 @@ package proto
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -36,6 +37,34 @@ const CapBatchOpen = "batch-open"
 
 // capabilityPrefix opens a capability hello's reason line.
 const capabilityPrefix = "avfi-capabilities:"
+
+// worldCapPrefix opens the world-config hash token inside a capability
+// hello. Like every unknown token it is ignored by peers that predate it,
+// so announcing a world hash never breaks a legacy pairing.
+const worldCapPrefix = "world:"
+
+// WorldCapToken renders a world-configuration hash (sim.WorldConfig.Hash)
+// as a capability-hello token. A worker announces its world's hash at
+// dial time so a campaign configured for a different world fails fast
+// instead of silently producing non-bit-identical results.
+func WorldCapToken(hash uint64) string {
+	return fmt.Sprintf("%s%016x", worldCapPrefix, hash)
+}
+
+// ParseWorldCap recognizes a world-hash token from a capability hello.
+// ok is false for every other token (including malformed hashes, which
+// are treated as absent rather than fatal — the hello is advisory).
+func ParseWorldCap(token string) (hash uint64, ok bool) {
+	rest, found := strings.CutPrefix(token, worldCapPrefix)
+	if !found {
+		return 0, false
+	}
+	h, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return h, true
+}
 
 // OpenBatchEntry is one episode of a batch: the session to open it on and
 // its scenario.

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"github.com/avfi/avfi/internal/render"
 	"github.com/avfi/avfi/internal/world"
@@ -43,6 +44,18 @@ func DefaultWorldConfig() WorldConfig {
 		LidarRange: 60,
 		Seed:       1,
 	}
+}
+
+// Hash fingerprints the world configuration for the dial-time handshake:
+// two processes whose WorldConfigs hash equal generate bit-identical
+// worlds, so a campaign pairing with a worker announcing the same hash
+// keeps episode results bit-identical. The digest covers every field
+// (including nested town/camera parameters) via the Go value syntax, so
+// any configuration drift — a new field included — changes the hash.
+func (c WorldConfig) Hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", c)
+	return h.Sum64()
 }
 
 // EpisodeConfig parameterizes one mission.

@@ -43,6 +43,9 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	return w, nil
 }
 
+// Config returns the configuration the world was generated from.
+func (w *World) Config() WorldConfig { return w.cfg }
+
 // Town returns the generated town.
 func (w *World) Town() *world.Town { return w.town }
 

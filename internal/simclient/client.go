@@ -56,24 +56,28 @@ type session struct {
 type Client struct {
 	conn transport.Conn
 
-	mu           sync.Mutex
-	next         uint32
-	sessions     map[uint32]*session
-	err          error
-	completed    int
-	failed       int
-	maxOpen      int
-	batchMax     int  // SetBatchOpens bound; <= 1 means batching is off
-	batchCap     bool // peer announced OpenEpisodeBatch support
-	openBatches  int
-	batchedOpens int
-	deltaWant    bool // SetDeltaFrames: willing to decode delta frames
-	serverDelta  bool // peer announced SensorFrameDelta support
-	helloSent    bool // our capability reply has gone out
-	deltaFrames  int
+	mu            sync.Mutex
+	next          uint32
+	sessions      map[uint32]*session
+	err           error
+	completed     int
+	failed        int
+	maxOpen       int
+	batchMax      int  // SetBatchOpens bound; <= 1 means batching is off
+	batchCap      bool // peer announced OpenEpisodeBatch support
+	openBatches   int
+	batchedOpens  int
+	deltaWant     bool // SetDeltaFrames: willing to decode delta frames
+	serverDelta   bool // peer announced SensorFrameDelta support
+	helloSent     bool // our capability reply has gone out
+	deltaFrames   int
+	helloSeen     bool   // the server's capability hello has arrived
+	serverWorld   uint64 // world hash the hello announced, when serverWorldOK
+	serverWorldOK bool
 
-	openCh chan *openReq
-	done   chan struct{}
+	openCh  chan *openReq
+	done    chan struct{}
+	helloCh chan struct{} // closed when the server's hello arrives
 }
 
 // openReq is one episode open queued for the coalescing send loop; errc
@@ -93,6 +97,7 @@ func NewClient(conn transport.Conn) *Client {
 		sessions: make(map[uint32]*session),
 		openCh:   make(chan *openReq, 256),
 		done:     make(chan struct{}),
+		helloCh:  make(chan struct{}),
 	}
 	go c.recvLoop()
 	go c.sendLoop()
@@ -235,7 +240,16 @@ func (c *Client) noteCapabilities(caps []string) {
 			c.batchCap = true
 		case proto.CapDeltaFrame:
 			c.serverDelta = true
+		default:
+			if h, ok := proto.ParseWorldCap(token); ok {
+				c.serverWorld = h
+				c.serverWorldOK = true
+			}
 		}
+	}
+	if !c.helloSeen {
+		c.helloSeen = true
+		close(c.helloCh)
 	}
 	reply := c.deltaWant && c.serverDelta && !c.helloSent
 	if reply {
@@ -245,6 +259,39 @@ func (c *Client) noteCapabilities(caps []string) {
 	if reply {
 		_ = c.conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(proto.CapDeltaFrame)))
 	}
+}
+
+// WaitServerHello blocks until the server's capability hello has been
+// seen, returning true, or until the connection dies or the timeout
+// elapses, returning false. Current-generation servers send the hello as
+// their very first message, so against them this resolves in one network
+// round trip; only a pre-hello legacy server runs out the timeout.
+func (c *Client) WaitServerHello(timeout time.Duration) bool {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-c.helloCh:
+		return true
+	case <-c.done:
+		// The hello may have raced the connection's death; prefer it.
+		select {
+		case <-c.helloCh:
+			return true
+		default:
+			return false
+		}
+	case <-t.C:
+		return false
+	}
+}
+
+// ServerWorldHash returns the world-configuration fingerprint the server's
+// capability hello announced; ok is false when no hello has arrived yet or
+// the server predates world announcement.
+func (c *Client) ServerWorldHash() (hash uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverWorld, c.serverWorldOK
 }
 
 // SetDeltaFrames lets the server delta-encode this client's sensor frames

@@ -44,6 +44,10 @@ type Server struct {
 	// decode delta frames; until then every frame goes out as a keyframe.
 	deltaOK     bool
 	deltaFrames int
+	// worldHash, when hasWorldHash, is announced in the capability hello so
+	// clients can verify the server simulates the world they expect.
+	worldHash    uint64
+	hasWorldHash bool
 
 	wg sync.WaitGroup
 }
@@ -57,6 +61,17 @@ func NewServer(factory EpisodeFactory) *Server {
 	}
 }
 
+// SetWorldHash adds a world-configuration fingerprint (sim.WorldConfig.Hash)
+// to the server's capability hello, letting dial-time verification reject a
+// campaign/worker world mismatch before any episode runs. Set it before
+// Serve; legacy clients ignore the extra token.
+func (s *Server) SetWorldHash(hash uint64) {
+	s.mu.Lock()
+	s.worldHash = hash
+	s.hasWorldHash = true
+	s.mu.Unlock()
+}
+
 // Serve multiplexes episodes over conn until the peer closes it. Every
 // received envelope either opens sessions (KindOpenEpisode, or many at
 // once via KindOpenEpisodeBatch) or routes a control to its session
@@ -67,7 +82,13 @@ func (s *Server) Serve(conn transport.Conn) error {
 	// clients drop the hello unread while new ones turn on batched opens.
 	// A send failure here means the connection is already dead; the demux
 	// loop's first Recv reports it.
-	_ = conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(proto.CapBatchOpen, proto.CapDeltaFrame)))
+	caps := []string{proto.CapBatchOpen, proto.CapDeltaFrame}
+	s.mu.Lock()
+	if s.hasWorldHash {
+		caps = append(caps, proto.WorldCapToken(s.worldHash))
+	}
+	s.mu.Unlock()
+	_ = conn.Send(proto.EncodeEnvelope(0, proto.EncodeCapabilityHello(caps...)))
 	err := s.demux(conn)
 	// Unblock any session still waiting for a control (the peer is gone),
 	// then drain the episode goroutines.

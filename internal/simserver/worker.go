@@ -41,11 +41,13 @@ func WorldFactory(w *sim.World) EpisodeFactory {
 type Worker struct {
 	factory EpisodeFactory
 
-	mu       sync.Mutex
-	listener *transport.Listener
-	conns    map[transport.Conn]struct{}
-	served   int
-	closed   bool
+	mu           sync.Mutex
+	listener     *transport.Listener
+	conns        map[transport.Conn]struct{}
+	served       int
+	closed       bool
+	worldHash    uint64
+	hasWorldHash bool
 
 	wg sync.WaitGroup
 }
@@ -54,6 +56,17 @@ type Worker struct {
 // WorldFactory for the canonical one).
 func NewWorker(factory EpisodeFactory) *Worker {
 	return &Worker{factory: factory, conns: make(map[transport.Conn]struct{})}
+}
+
+// SetWorldHash sets the world-configuration fingerprint every per-connection
+// Server announces in its capability hello (see Server.SetWorldHash), so
+// campaigns dialing this worker can verify world identity before
+// dispatching episodes. Call before Serve accepts connections.
+func (w *Worker) SetWorldHash(hash uint64) {
+	w.mu.Lock()
+	w.worldHash = hash
+	w.hasWorldHash = true
+	w.mu.Unlock()
 }
 
 // Listen binds the worker's listener and returns the bound address (useful
@@ -150,6 +163,11 @@ func (w *Worker) Serve() error {
 			defer w.wg.Done()
 			defer telemetry.WorkerActiveConns.Add(-1)
 			srv := NewServer(w.factory)
+			w.mu.Lock()
+			if w.hasWorldHash {
+				srv.SetWorldHash(w.worldHash)
+			}
+			w.mu.Unlock()
 			_ = srv.Serve(conn)
 			conn.Close()
 			w.mu.Lock()
@@ -222,6 +240,9 @@ type WorkerStatus struct {
 	ConnsServed int    `json:"conns_served"`
 	ActiveConns int    `json:"active_conns"`
 	Closed      bool   `json:"closed"`
+	// WorldHash is the announced world fingerprint in hex ("" when the
+	// worker does not announce one).
+	WorldHash string `json:"world_hash,omitempty"`
 }
 
 // Status snapshots the worker; safe to call from any goroutine.
@@ -232,10 +253,14 @@ func (w *Worker) Status() WorkerStatus {
 	if w.listener != nil {
 		addr = w.listener.Addr()
 	}
-	return WorkerStatus{
+	st := WorkerStatus{
 		Addr:        addr,
 		ConnsServed: w.served,
 		ActiveConns: len(w.conns),
 		Closed:      w.closed,
 	}
+	if w.hasWorldHash {
+		st.WorldHash = fmt.Sprintf("%016x", w.worldHash)
+	}
+	return st
 }

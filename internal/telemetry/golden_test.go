@@ -36,6 +36,14 @@ func TestGoldenMetricNames(t *testing.T) {
 		"avfi_server_sessions_failed_total",
 		"avfi_server_sessions_in_flight",
 		"avfi_server_sessions_opened_total",
+		"avfi_service_campaigns_active",
+		`avfi_service_campaigns_finished_total{state="done"}`,
+		`avfi_service_campaigns_finished_total{state="failed"}`,
+		"avfi_service_campaigns_submitted_total",
+		"avfi_service_worker_dial_failures_total",
+		"avfi_service_worker_dials_total",
+		"avfi_service_workers",
+		"avfi_service_workers_up",
 		"avfi_transport_buf_gets_total",
 		"avfi_transport_buf_hits_total",
 		"avfi_transport_buf_recycles_total",

@@ -94,3 +94,26 @@ var (
 	CampaignSinkQueue = Default.Gauge("avfi_campaign_sink_queue_depth",
 		"Episode records enqueued to sink shards and not yet drained.")
 )
+
+// Campaign service: the long-lived control plane — worker registry churn
+// and campaign lifecycle. Per-campaign episode counters are registered
+// dynamically at submit time (avfi_service_campaign_episodes_total with a
+// campaign label), so they are not listed here.
+var (
+	ServiceWorkers = Default.Gauge("avfi_service_workers",
+		"Workers currently registered with the campaign service.")
+	ServiceWorkersUp = Default.Gauge("avfi_service_workers_up",
+		"Registered workers currently serving at least one live engine slot.")
+	ServiceWorkerDials = Default.Counter("avfi_service_worker_dials_total",
+		"Worker dial attempts by the campaign service (announce-time and periodic re-dials).")
+	ServiceWorkerDialFailures = Default.Counter("avfi_service_worker_dial_failures_total",
+		"Worker dial attempts that failed (connection refused, world mismatch, timeout).")
+	ServiceCampaignsSubmitted = Default.Counter("avfi_service_campaigns_submitted_total",
+		"Campaigns accepted by the service's submit API.")
+	ServiceCampaignsActive = Default.Gauge("avfi_service_campaigns_active",
+		"Submitted campaigns currently running.")
+	ServiceCampaignsDone = Default.Counter("avfi_service_campaigns_finished_total",
+		"Campaigns finished, by terminal state.", "state", "done")
+	ServiceCampaignsFailed = Default.Counter("avfi_service_campaigns_finished_total",
+		"Campaigns finished, by terminal state.", "state", "failed")
+)

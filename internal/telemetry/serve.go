@@ -23,6 +23,7 @@ type Server struct {
 	reg *Registry
 	lis net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 
 	mu       sync.Mutex
 	order    []string
@@ -61,6 +62,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(lis) //nolint:errcheck // ErrServerClosed on Close
 	return s, nil
@@ -68,6 +70,13 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Handle mounts an additional handler on the endpoint's mux, sharing the
+// listener with /metrics, /statusz and pprof — how the campaign service's
+// submit/status/results API rides the telemetry endpoint instead of
+// needing a second port. Patterns follow net/http.ServeMux semantics;
+// registering a pattern twice panics (as ServeMux does).
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // SetStatus attaches (or, with a nil fn, detaches) a named /statusz
 // section. fn runs on the HTTP goroutine at scrape time and must be
