@@ -232,6 +232,9 @@ type (
 	InputInjector = fault.InputInjector
 	// OutputInjector corrupts control commands after the agent.
 	OutputInjector = fault.OutputInjector
+	// LidarInjector is the optional extra role for input injectors that
+	// corrupt the LIDAR scan the AEB safety monitor watches.
+	LidarInjector = fault.LidarInjector
 	// TimingInjector reshapes the control stream in time.
 	TimingInjector = fault.TimingInjector
 	// ModelInjector corrupts the agent's network parameters.
@@ -425,6 +428,31 @@ func Compare(baseline, treatment []EpisodeRecord, iters int, r *Rand) (Compariso
 
 // RegisteredInjectors lists every built-in injector name.
 func RegisteredInjectors() []string { return fault.Names() }
+
+// FaultClasses lists every fault class name ("data", "hardware", "timing",
+// "ml", "comm", "actuator", "localization", "perception", "none").
+func FaultClasses() []string {
+	classes := fault.Classes()
+	out := make([]string, 0, len(classes))
+	for _, c := range classes {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+// InjectorsByClass lists the registered injector names of one fault class
+// (see FaultClasses for the class names), sorted.
+func InjectorsByClass(class string) ([]string, error) {
+	c, err := fault.ParseClass(class)
+	if err != nil {
+		return nil, err
+	}
+	return fault.NamesByClass(c), nil
+}
+
+// FaultTaxonomySuite returns one representative injector per fault class
+// plus the fault-free baseline — the cross-family campaign sweep.
+func FaultTaxonomySuite() []InjectorSource { return campaign.TaxonomySuite() }
 
 // InputFaultSuite returns the paper's Figure 2/3 columns: the baseline plus
 // the five camera faults (gaussian, salt & pepper, solid occlusion,

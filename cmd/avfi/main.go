@@ -4,6 +4,7 @@
 //
 //	avfi -injectors noinject,gaussian,outputdelay -missions 6 -reps 2
 //	avfi -injectors all -records-csv records.csv -reports-csv reports.csv
+//	avfi -injectors taxonomy,class:comm -matrix -activations 0,30
 //	avfi -agent model.avfi -tcp -seed 7
 //	avfi -matrix -weathers clear,rain -densities 0x0,8x4 -aeb both
 //	avfi -engines 4 -retries 2 -stream-records records.jsonl
@@ -103,7 +104,7 @@ func main() {
 
 func run(ctx context.Context) error {
 	var (
-		injectors  = flag.String("injectors", "noinject,gaussian,saltpepper,solidocc,transpocc,waterdrop", "comma-separated injector names, or 'all'")
+		injectors  = flag.String("injectors", "noinject,gaussian,saltpepper,solidocc,transpocc,waterdrop", "comma-separated injector names, 'class:FAMILY' selectors, 'taxonomy' (one per family), or 'all'")
 		listInj    = flag.Bool("list", false, "list registered injectors and exit")
 		missions   = flag.Int("missions", 6, "number of navigation missions")
 		reps       = flag.Int("reps", 2, "repetitions (seeds) per mission and injector")
@@ -188,18 +189,9 @@ func run(ctx context.Context) error {
 		return err
 	}
 
-	var sources []avfi.InjectorSource
-	if *injectors == "all" {
-		for _, name := range avfi.RegisteredInjectors() {
-			sources = append(sources, avfi.Injector(name))
-		}
-	} else {
-		for _, name := range strings.Split(*injectors, ",") {
-			name = strings.TrimSpace(name)
-			if name != "" {
-				sources = append(sources, avfi.Injector(name))
-			}
-		}
+	sources, err := parseInjectors(*injectors)
+	if err != nil {
+		return err
 	}
 
 	w, err := parseWeather(*weather)
@@ -548,6 +540,40 @@ func announceWorker(ctx context.Context, baseURL, addr string) error {
 		}
 	}
 	return fmt.Errorf("giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// parseInjectors expands the -injectors selector into campaign columns.
+// Each comma-separated entry is an injector name, "class:FAMILY" (every
+// registered injector of one fault class — see avfi.FaultClasses), "all",
+// or "taxonomy" (one representative per class plus the baseline).
+func parseInjectors(s string) ([]avfi.InjectorSource, error) {
+	var sources []avfi.InjectorSource
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		switch {
+		case entry == "":
+		case entry == "all":
+			for _, name := range avfi.RegisteredInjectors() {
+				sources = append(sources, avfi.Injector(name))
+			}
+		case entry == "taxonomy":
+			sources = append(sources, avfi.FaultTaxonomySuite()...)
+		case strings.HasPrefix(entry, "class:"):
+			names, err := avfi.InjectorsByClass(strings.TrimPrefix(entry, "class:"))
+			if err != nil {
+				return nil, fmt.Errorf("-injectors %q: %w", entry, err)
+			}
+			if len(names) == 0 {
+				return nil, fmt.Errorf("-injectors %q matches no registered injector", entry)
+			}
+			for _, name := range names {
+				sources = append(sources, avfi.Injector(name))
+			}
+		default:
+			sources = append(sources, avfi.Injector(entry))
+		}
+	}
+	return sources, nil
 }
 
 // parseBackends splits the -backends list, rejecting empty entries (the

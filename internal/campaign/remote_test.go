@@ -314,6 +314,49 @@ func TestDistributedDeterminismMatrix(t *testing.T) {
 		}
 	})
 
+	// The new fault families (comm, actuator, localization, perception)
+	// must hold the same bit-identity contract — their injectors draw
+	// randomness per frame, so any draw-order drift between in-process and
+	// remote execution shows up here. The windowed phantom also rides the
+	// Multi/WindowedInput wrappers, pinning the LIDAR role forwarding
+	// end-to-end.
+	t.Run("new-families", func(t *testing.T) {
+		famCfg := func() Config {
+			cfg := tinyConfig(t, []InjectorSource{
+				Registry("commdelay"),
+				Registry("stuckthrottle"),
+				Registry("gpswalk"),
+				Windowed(Registry("phantomahead"), 5),
+			})
+			cfg.Parallelism = 4
+			return cfg
+		}
+		baseline, err := NewRunner(famCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := baseline.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := famCfg()
+		cfg.Pool = PoolConfig{Backends: addrs, MaxRetries: 2}
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Records, want.Records) {
+			t.Error("new-family records diverged between in-process and remote")
+		}
+		if !reflect.DeepEqual(got.Reports, want.Reports) {
+			t.Error("new-family reports diverged between in-process and remote")
+		}
+	})
+
 	for _, policy := range []adaptive.Policy{adaptive.Uniform{}, adaptive.SuccessiveHalving{}, adaptive.UCB{}} {
 		acfg := AdaptiveConfig{Policy: policy, Budget: 6, RoundSize: 2}
 		t.Run("adaptive-"+policy.Name(), func(t *testing.T) {

@@ -9,7 +9,11 @@ import (
 
 	// Link the remaining built-in injectors so campaign users can resolve
 	// any registered name.
+	_ "github.com/avfi/avfi/internal/fault/actuatorfault"
+	_ "github.com/avfi/avfi/internal/fault/commfault"
+	_ "github.com/avfi/avfi/internal/fault/hallucinate"
 	_ "github.com/avfi/avfi/internal/fault/hwfault"
+	_ "github.com/avfi/avfi/internal/fault/locfault"
 	_ "github.com/avfi/avfi/internal/fault/mlfault"
 	_ "github.com/avfi/avfi/internal/fault/sensorfault"
 )
@@ -48,6 +52,36 @@ func DelaySweep(frames []int) []InjectorSource {
 
 // Fig4Frames is the paper's Figure 4 x-axis.
 var Fig4Frames = []int{0, 5, 10, 20, 30}
+
+// TaxonomySuite returns one representative injector per fault class (plus
+// the fault-free baseline): the cross-family campaign that the taxonomy
+// argument of the paper calls for — a single matrix sweep covering every
+// family the repo injects.
+func TaxonomySuite() []InjectorSource {
+	out := []InjectorSource{Registry(fault.NoopName)}
+	for _, c := range fault.Classes() {
+		if c == fault.ClassNone {
+			continue
+		}
+		names := fault.NamesByClass(c)
+		if len(names) == 0 {
+			continue
+		}
+		out = append(out, Registry(names[0]))
+	}
+	return out
+}
+
+// ClassSuite returns every registered injector of one fault class as
+// campaign columns, in sorted-name order.
+func ClassSuite(c fault.Class) []InjectorSource {
+	names := fault.NamesByClass(c)
+	out := make([]InjectorSource, 0, len(names))
+	for _, n := range names {
+		out = append(out, Registry(n))
+	}
+	return out
+}
 
 // Windowed wraps an injector source so its fault activates at startFrame
 // rather than episode start — the campaign-level localizer choosing *when*

@@ -98,6 +98,38 @@ func TestWindowedRegistryInjector(t *testing.T) {
 	}
 }
 
+func TestWindowedLidarInjectorKeepsRole(t *testing.T) {
+	// Regression: the Multi/WindowedInput bundle built by Windowed used to
+	// drop the LidarInjector role, so name@frame lidar faults were silent
+	// no-ops — the client's type assertion failed and the AEB saw clean
+	// scans during the activation window.
+	src := Windowed(Registry("lidardropout"), 30)
+	inst := src.New()
+	li, ok := inst.(fault.LidarInjector)
+	if !ok {
+		t.Fatal("windowed lidar injector lost its LidarInjector role")
+	}
+
+	r := rng.New(9)
+	scan := make([]float64, 36) // all-zero; dropout pushes beams to max range
+	li.InjectLidar(scan, 10, r)
+	for i, v := range scan {
+		if v != 0 {
+			t.Fatalf("lidar fault fired before window: beam %d = %v", i, v)
+		}
+	}
+	li.InjectLidar(scan, 40, r)
+	changed := 0
+	for _, v := range scan {
+		if v != 0 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("windowed lidar fault never corrupted the scan inside the window")
+	}
+}
+
 func TestWindowedTimingInjector(t *testing.T) {
 	// Timing injectors keep working when windowed.
 	src := Windowed(Registry("outputdelay"), 5)

@@ -17,6 +17,21 @@
 //   - Machine-learning faults (subpackage mlfault): noise and bit flips in
 //     the driving network's parameters.
 //
+// Beyond the paper's four classes, the taxonomy has grown the fault
+// families its follow-ups (Bayesian FI, DriveFI, resilience assessment)
+// and real AV incident reports name:
+//
+//   - Communication faults (subpackage commfault): jittered latency,
+//     bursty loss and bounded reordering on the control link, plus a
+//     transport-layer wrapper that perturbs the wire path itself.
+//   - Actuator faults (subpackage actuatorfault): stuck, degraded and
+//     biased throttle, brake and steering channels.
+//   - Localization faults (subpackage locfault): GPS random-walk drift
+//     and Kalman-style fusion divergence.
+//   - Perception hallucinations (subpackage hallucinate): phantom
+//     obstacles injected into the LIDAR scan — the fault family that
+//     turns the AEB safety monitor against the vehicle.
+//
 // This parent package defines the injector interfaces, the activation
 // windows ("fault plans") shared by all classes, and the registry the
 // campaign runner and CLI use to instantiate injectors by name.
@@ -163,10 +178,12 @@ type Spec struct {
 	New func() interface{}
 }
 
-// Class groups injectors by the paper's four fault classes (plus none).
+// Class groups injectors by fault family: the paper's four classes (plus
+// none), and the families the taxonomy grew afterwards.
 type Class int
 
-// Fault classes. Enums start at one.
+// Fault classes. Enums start at one; new families append so existing
+// numeric values stay stable.
 const (
 	ClassInvalid Class = iota
 	ClassNone
@@ -174,6 +191,10 @@ const (
 	ClassHardware
 	ClassTiming
 	ClassML
+	ClassComm
+	ClassActuator
+	ClassLocalization
+	ClassPerception
 )
 
 // String implements fmt.Stringer.
@@ -189,9 +210,35 @@ func (c Class) String() string {
 		return "timing"
 	case ClassML:
 		return "ml"
+	case ClassComm:
+		return "comm"
+	case ClassActuator:
+		return "actuator"
+	case ClassLocalization:
+		return "localization"
+	case ClassPerception:
+		return "perception"
 	default:
 		return "invalid"
 	}
+}
+
+// Classes lists every valid fault class in declaration order.
+func Classes() []Class {
+	return []Class{
+		ClassNone, ClassData, ClassHardware, ClassTiming, ClassML,
+		ClassComm, ClassActuator, ClassLocalization, ClassPerception,
+	}
+}
+
+// ParseClass resolves a class name (as printed by Class.String).
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return ClassInvalid, fmt.Errorf("fault: unknown class %q (have %v)", s, Classes())
 }
 
 var (
@@ -229,6 +276,21 @@ func Names() []string {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	return registeredNamesLocked()
+}
+
+// NamesByClass returns the registered injector names of one fault class,
+// sorted — the expansion behind the CLI's class:FAMILY injector selector.
+func NamesByClass(c Class) []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	var names []string
+	for n, s := range registry {
+		if s.Class == c {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func registeredNamesLocked() []string {

@@ -25,6 +25,7 @@ type Multi struct {
 
 var (
 	_ InputInjector  = (*Multi)(nil)
+	_ LidarInjector  = (*Multi)(nil)
 	_ OutputInjector = (*Multi)(nil)
 	_ TimingInjector = (*Multi)(nil)
 )
@@ -45,6 +46,16 @@ func (m *Multi) InjectMeasurements(speed, gpsX, gpsY float64, frame int, r *rng.
 		return m.Input.InjectMeasurements(speed, gpsX, gpsY, frame, r)
 	}
 	return speed, gpsX, gpsY
+}
+
+// InjectLidar implements LidarInjector, delegating to the input slot when
+// it carries the LIDAR role. The client driver type-asserts its single
+// Input injector for this role, so the bundle must keep forwarding it —
+// dropping it here is what silently disarmed windowed lidar faults.
+func (m *Multi) InjectLidar(ranges []float64, frame int, r *rng.Stream) {
+	if li, ok := m.Input.(LidarInjector); ok {
+		li.InjectLidar(ranges, frame, r)
+	}
 }
 
 // InjectControl implements OutputInjector.
@@ -123,7 +134,10 @@ type WindowedInput struct {
 	Window Window
 }
 
-var _ InputInjector = (*WindowedInput)(nil)
+var (
+	_ InputInjector = (*WindowedInput)(nil)
+	_ LidarInjector = (*WindowedInput)(nil)
+)
 
 // Name implements InputInjector.
 func (w *WindowedInput) Name() string { return w.Inner.Name() }
@@ -142,6 +156,17 @@ func (w *WindowedInput) InjectMeasurements(speed, gpsX, gpsY float64, frame int,
 		return speed, gpsX, gpsY
 	}
 	return w.Inner.InjectMeasurements(speed, gpsX, gpsY, frame, r)
+}
+
+// InjectLidar implements LidarInjector, gating the inner injector's LIDAR
+// role (when it has one) behind the window like the other input roles.
+func (w *WindowedInput) InjectLidar(ranges []float64, frame int, r *rng.Stream) {
+	if !w.Window.Active(frame) {
+		return
+	}
+	if li, ok := w.Inner.(LidarInjector); ok {
+		li.InjectLidar(ranges, frame, r)
+	}
 }
 
 // WindowedOutput gates an OutputInjector.

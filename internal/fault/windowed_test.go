@@ -119,3 +119,81 @@ func TestWindowedImplementInterfaces(t *testing.T) {
 	var _ OutputInjector = &WindowedOutput{Inner: Noop{}}
 	var _ TimingInjector = &WindowedTiming{Inner: Noop{}}
 }
+
+// zapLidar is a test injector carrying the LIDAR role: it slams every beam
+// to zero (point-blank returns in all directions).
+type zapLidar struct{ blackout }
+
+func (zapLidar) Name() string { return "zaplidar" }
+func (zapLidar) InjectLidar(ranges []float64, _ int, _ *rng.Stream) {
+	for i := range ranges {
+		ranges[i] = 0
+	}
+}
+
+func cleanScan(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 60
+	}
+	return s
+}
+
+func TestWindowedInputForwardsLidarRole(t *testing.T) {
+	// Regression: WindowedInput used to drop the optional LidarInjector
+	// role, so windowed lidar faults never reached the scan.
+	w := &WindowedInput{Inner: zapLidar{}, Window: Window{StartFrame: 10, EndFrame: 20}}
+	r := rng.New(7)
+
+	scan := cleanScan(4)
+	w.InjectLidar(scan, 5, r)
+	if scan[0] != 60 {
+		t.Error("lidar fault fired before window")
+	}
+	w.InjectLidar(scan, 15, r)
+	if scan[0] != 0 {
+		t.Error("lidar fault inactive inside window")
+	}
+	scan = cleanScan(4)
+	w.InjectLidar(scan, 25, r)
+	if scan[0] != 60 {
+		t.Error("lidar fault fired after window")
+	}
+
+	// An inner injector without the role stays a safe no-op.
+	wn := &WindowedInput{Inner: blackout{}, Window: Window{}}
+	scan = cleanScan(4)
+	wn.InjectLidar(scan, 15, r)
+	if scan[0] != 60 {
+		t.Error("lidar-less inner mutated the scan")
+	}
+}
+
+func TestMultiForwardsLidarRole(t *testing.T) {
+	// Regression: Multi (the campaign layer's windowed bundle) used to hide
+	// the input slot's LidarInjector role from the client's type assertion.
+	m := &Multi{
+		InjectorName: "zaplidar@10",
+		Input:        &WindowedInput{Inner: zapLidar{}, Window: Window{StartFrame: 10}},
+	}
+	var li LidarInjector = m
+	r := rng.New(8)
+
+	scan := cleanScan(4)
+	li.InjectLidar(scan, 5, r)
+	if scan[0] != 60 {
+		t.Error("bundled lidar fault fired before window")
+	}
+	li.InjectLidar(scan, 10, r)
+	if scan[0] != 0 {
+		t.Error("bundled lidar fault inactive inside window")
+	}
+
+	// Empty and lidar-less bundles are safe no-ops.
+	scan = cleanScan(4)
+	(&Multi{InjectorName: "empty"}).InjectLidar(scan, 10, r)
+	(&Multi{InjectorName: "img", Input: blackout{}}).InjectLidar(scan, 10, r)
+	if scan[0] != 60 {
+		t.Error("lidar-less bundle mutated the scan")
+	}
+}

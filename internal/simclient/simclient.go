@@ -129,6 +129,11 @@ type FaultedDriver struct {
 	AEB *safety.AEB
 	// Rand supplies the episode's fault-injection randomness.
 	Rand *rng.Stream
+
+	// lidarScratch is the reused per-frame copy of the scan handed to
+	// lidar injectors, so the frame's own payload stays pristine without
+	// allocating on every Drive call.
+	lidarScratch []float64
 }
 
 var _ Driver = (*FaultedDriver)(nil)
@@ -167,11 +172,16 @@ func (d *FaultedDriver) Drive(frame *proto.SensorFrame) (physics.Control, error)
 	gpsX, gpsY := frame.GPSX, frame.GPSY
 	fnum := int(frame.Frame)
 
-	lidar := append([]float64(nil), frame.Lidar...)
+	// The AEB reads the frame's scan in place unless a lidar fault needs a
+	// mutable copy; the copy lives in a per-driver scratch slice so the
+	// faulted path stays allocation-free after the first frame.
+	lidar := frame.Lidar
 	if d.Input != nil {
 		d.Input.InjectImage(img, fnum, d.Rand)
 		speed, gpsX, gpsY = d.Input.InjectMeasurements(speed, gpsX, gpsY, fnum, d.Rand)
 		if li, ok := d.Input.(fault.LidarInjector); ok {
+			d.lidarScratch = append(d.lidarScratch[:0], frame.Lidar...)
+			lidar = d.lidarScratch
 			li.InjectLidar(lidar, fnum, d.Rand)
 		}
 	}
